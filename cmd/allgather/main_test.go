@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunModelOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 512, "cyclic-bunch", 65536, "auto", true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"default mapping", "heuristic (Hrstc)", "Scotch baseline", "ring"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSmallMessageUsesRecursiveDoubling(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 256, "block-bunch", 512, "auto", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recursive-doubling") {
+		t.Errorf("expected recursive doubling for 512B:\n%s", buf.String())
+	}
+}
+
+func TestRunRealPath(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 16, "block-bunch", 256, "auto", false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "real goroutine runtime") {
+		t.Error("missing runtime measurement")
+	}
+	if err := run(&bytes.Buffer{}, 2048, "block-bunch", 256, "auto", false, true); err == nil {
+		t.Error("-real accepted a huge process count")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(&bytes.Buffer{}, 16, "nope", 256, "auto", false, false); err == nil {
+		t.Error("unknown layout accepted")
+	}
+	if err := run(&bytes.Buffer{}, 999999, "block-bunch", 256, "auto", false, false); err == nil {
+		t.Error("oversubscription accepted")
+	}
+}
+
+func TestRunExplicitAlgorithms(t *testing.T) {
+	for _, alg := range []string{"rd", "ring", "bruck", "neighbor"} {
+		p := 256
+		var buf bytes.Buffer
+		if err := run(&buf, p, "cyclic-bunch", 4096, alg, false, false); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !strings.Contains(buf.String(), "heuristic (Hrstc)") {
+			t.Errorf("%s: missing heuristic row", alg)
+		}
+	}
+	if err := run(&bytes.Buffer{}, 16, "block-bunch", 64, "nope", false, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// Scotch has no pattern graph for the extension algorithms.
+	if err := run(&bytes.Buffer{}, 16, "block-bunch", 64, "bruck", true, false); err == nil {
+		t.Error("Scotch on bruck accepted")
+	}
+}

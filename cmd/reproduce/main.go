@@ -1,0 +1,180 @@
+// Command reproduce regenerates the evaluation of "Topology-Aware Rank
+// Reordering for MPI Collectives" (Mirsadeghi & Afsahi, IPDPS Workshops
+// 2016): Fig. 3 (non-hierarchical micro-benchmarks), Fig. 4 (hierarchical
+// micro-benchmarks), Figs. 5-6 (application study) and Fig. 7 (overheads),
+// printed as text tables with the same rows and series the paper plots.
+//
+// Usage:
+//
+//	reproduce [-fig 3|4|5|6|7|all] [-p 4096] [-quick]
+//
+// -quick runs a reduced size sweep and 256 processes, finishing in seconds;
+// the default regenerates the full 4096-process evaluation (minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/app"
+	"repro/internal/experiments"
+	"repro/internal/osu"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7 or all")
+	procs := flag.Int("p", 4096, "micro-benchmark process count")
+	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables")
+	flag.Parse()
+
+	if err := run(os.Stdout, *fig, *procs, *quick, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig string, procs int, quick, csvOut bool) error {
+	sizes := osu.DefaultSizes()
+	appCfg := app.DefaultConfig()
+	if quick {
+		procs = 256
+		sizes = osu.Sizes(64, 65536)
+		appCfg.Procs = 256
+		appCfg.Steps = 50
+	}
+	setup, err := experiments.NewSetup(procs, sizes)
+	if err != nil {
+		return err
+	}
+
+	// The sensitivity table is opt-in (-fig sens); "all" covers the paper's
+	// own figures.
+	want := func(f string) bool {
+		if f == "sens" {
+			return fig == "sens"
+		}
+		return fig == "all" || fig == f
+	}
+
+	if want("sens") {
+		p := procs
+		if p > 512 {
+			p = 512
+		}
+		rows, err := experiments.Sensitivity(p, []float64{0.5, 2.0})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.RenderSensitivity(rows))
+	}
+
+	if want("3") {
+		panels, err := experiments.Fig3(setup)
+		if err != nil {
+			return err
+		}
+		var rp []experiments.RenderPanel
+		for _, p := range panels {
+			rp = append(rp, experiments.RenderPanel{Title: p.Layout.String(), Series: p.Series})
+		}
+		if csvOut {
+			if err := experiments.PanelsCSV(w, rp); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(w, experiments.RenderPanels(
+				fmt.Sprintf("Figure 3: non-hierarchical topology-aware allgather, %d processes", procs), rp))
+		}
+	}
+	if want("4") {
+		panels, err := experiments.Fig4(setup)
+		if err != nil {
+			return err
+		}
+		var rp []experiments.RenderPanel
+		for _, p := range panels {
+			rp = append(rp, experiments.RenderPanel{
+				Title:  fmt.Sprintf("%v, %v", p.Layout, p.Intra),
+				Series: p.Series,
+			})
+		}
+		if csvOut {
+			if err := experiments.PanelsCSV(w, rp); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(w, experiments.RenderPanels(
+				fmt.Sprintf("Figure 4: hierarchical topology-aware allgather, %d processes", procs), rp))
+		}
+	}
+	if want("5") {
+		panels, err := experiments.Fig5(setup, appCfg)
+		if err != nil {
+			return err
+		}
+		var rp []struct {
+			Title   string
+			Results []experiments.AppResult
+		}
+		for _, p := range panels {
+			rp = append(rp, struct {
+				Title   string
+				Results []experiments.AppResult
+			}{p.Layout.String(), p.Results})
+		}
+		if csvOut {
+			if err := experiments.AppCSV(w, rp); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(w, experiments.RenderApp(
+				fmt.Sprintf("Figure 5: application, non-hierarchical, %d processes, %d allgather calls",
+					appCfg.Procs, appCfg.Steps), rp))
+		}
+	}
+	if want("6") {
+		panels, err := experiments.Fig6(setup, appCfg)
+		if err != nil {
+			return err
+		}
+		var rp []struct {
+			Title   string
+			Results []experiments.AppResult
+		}
+		for _, p := range panels {
+			rp = append(rp, struct {
+				Title   string
+				Results []experiments.AppResult
+			}{fmt.Sprintf("%v, %v", p.Layout, p.Intra), p.Results})
+		}
+		if csvOut {
+			if err := experiments.AppCSV(w, rp); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(w, experiments.RenderApp(
+				fmt.Sprintf("Figure 6: application, hierarchical, %d processes", appCfg.Procs), rp))
+		}
+	}
+	if want("7") || fig == "7a" || fig == "7b" {
+		reps := 3
+		if quick {
+			reps = 1
+		}
+		rows, err := experiments.Fig7(setup, reps)
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			if err := experiments.OverheadsCSV(w, rows); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(w, experiments.RenderOverheads(rows))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick evaluation")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "all", 4096, true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7",
+		"block-bunch", "cyclic-scatter", "Hrstc+initComm", "Scotch map",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick evaluation")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "7", 256, true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "Figure 3") {
+		t.Error("-fig 7 also printed figure 3")
+	}
+	if !strings.Contains(out, "Figure 7") {
+		t.Error("figure 7 missing")
+	}
+}
+
+func TestRunRejectsBadProcs(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "3", -1, false, false); err == nil {
+		t.Error("negative process count accepted")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick evaluation")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "7", 256, true, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "procs,discovery_s,heuristic_s,scotch_s") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4096,") {
+		t.Error("CSV rows missing")
+	}
+}

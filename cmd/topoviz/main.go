@@ -1,0 +1,247 @@
+// Command topoviz inspects the reproduction's hardware and pattern models:
+// it prints cluster shapes, fat-tree routes, distance matrices, process
+// layouts and collective communication patterns — the textual counterparts
+// of the paper's Figs. 1 and 2.
+//
+// Usage:
+//
+//	topoviz -gpc                  # describe the GPC model (paper Fig. 2)
+//	topoviz -pattern rd -p 8      # dump a pattern (paper Fig. 1)
+//	topoviz -layout cyclic-bunch -p 16 -nodes 2 -sockets 2 -cores 4
+//	topoviz -route 0,496          # show a fat-tree route between two nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/patterns"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+func main() {
+	gpc := flag.Bool("gpc", false, "describe the GPC cluster model")
+	pattern := flag.String("pattern", "", "dump a pattern: rd, ring, bcast, gather")
+	layoutKind := flag.String("layout", "", "dump a layout: block-bunch, block-scatter, cyclic-bunch, cyclic-scatter")
+	route := flag.String("route", "", "print the fat-tree route between two GPC nodes, e.g. 0,496")
+	explain := flag.String("explain", "", "price a config on the GPC model and print the per-stage breakdown: layout,pattern,sizeBytes (e.g. cyclic-bunch,ring,65536)")
+	p := flag.Int("p", 8, "process count")
+	nodes := flag.Int("nodes", 2, "nodes (for -layout)")
+	sockets := flag.Int("sockets", 2, "sockets per node (for -layout)")
+	cores := flag.Int("cores", 4, "cores per socket (for -layout)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *gpc, *pattern, *layoutKind, *route, *explain, *p, *nodes, *sockets, *cores); err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, gpc bool, pattern, layoutKind, route, explain string, p, nodes, sockets, cores int) error {
+	did := false
+	if gpc {
+		did = true
+		describeGPC(w)
+	}
+	if explain != "" {
+		did = true
+		if err := explainConfig(w, explain, p); err != nil {
+			return err
+		}
+	}
+	if pattern != "" {
+		did = true
+		if err := dumpPattern(w, pattern, p); err != nil {
+			return err
+		}
+	}
+	if layoutKind != "" {
+		did = true
+		if err := dumpLayout(w, layoutKind, p, nodes, sockets, cores); err != nil {
+			return err
+		}
+	}
+	if route != "" {
+		did = true
+		if err := dumpRoute(w, route); err != nil {
+			return err
+		}
+	}
+	if !did {
+		flag.Usage()
+	}
+	return nil
+}
+
+func describeGPC(w io.Writer) {
+	c := topology.GPC()
+	f := c.Net.(*topology.FatTree)
+	fmt.Fprintf(w, "GPC model (paper Fig. 2): %v\n", c)
+	fmt.Fprintf(w, "  nodes: %d, cores: %d\n", c.Nodes, c.TotalCores())
+	fmt.Fprintf(w, "  fat-tree: %d leaf switches x %d nodes, %d enclosures (%d line + %d spine each)\n",
+		f.Leaves, f.NodesPerLeaf, f.Enclosures, f.LinesPerEnc, f.SpinesPerEnc)
+	fmt.Fprintf(w, "  uplinks: %d leaf->line per enclosure, %d line->spine\n", f.LeafUplinks, f.LineUplinks)
+	fmt.Fprintf(w, "  hop counts: same leaf = 2, same line = 4, cross spine = %d\n", f.MaxHops())
+	fmt.Fprintln(w, "  distance samples (cores):")
+	pairs := [][2]int{{0, 1}, {0, 4}, {0, 8}, {0, 128}, {0, 4095}}
+	for _, pr := range pairs {
+		fmt.Fprintf(w, "    d(core %4d, core %4d) = %d\n", pr[0], pr[1], c.CoreDistance(pr[0], pr[1]))
+	}
+}
+
+func dumpPattern(w io.Writer, name string, p int) error {
+	var pat core.Pattern
+	switch name {
+	case "rd", "recursive-doubling":
+		pat = core.RecursiveDoubling
+	case "ring":
+		pat = core.Ring
+	case "bcast", "binomial-broadcast":
+		pat = core.BinomialBroadcast
+	case "gather", "binomial-gather":
+		pat = core.BinomialGather
+	default:
+		return fmt.Errorf("unknown pattern %q", name)
+	}
+	s, err := sched.ForPattern(pat, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pattern %v over %d processes (paper Fig. 1 style):\n", pat, p)
+	for si, st := range s.Stages {
+		reps := ""
+		if st.Repeat > 1 {
+			reps = fmt.Sprintf(" x%d", st.Repeat)
+		}
+		fmt.Fprintf(w, "  stage %d%s:", si, reps)
+		for _, tr := range st.Transfers {
+			fmt.Fprintf(w, " %d->%d(%d)", tr.Src, tr.Dst, tr.N)
+		}
+		fmt.Fprintln(w)
+	}
+	g, err := patterns.Build(pat, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  pattern graph: %d vertices, %d edges, total weight %d\n",
+		g.N(), len(g.Edges()), g.TotalWeight())
+	return nil
+}
+
+func dumpLayout(w io.Writer, kind string, p, nodes, sockets, cores int) error {
+	var k topology.LayoutKind
+	found := false
+	for _, cand := range topology.AllLayouts {
+		if cand.String() == kind {
+			k, found = cand, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown layout %q", kind)
+	}
+	c, err := topology.NewCluster(nodes, sockets, cores, nil)
+	if err != nil {
+		return err
+	}
+	layout, err := topology.Layout(c, p, k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "layout %v of %d ranks on %v:\n", k, p, c)
+	for r, core_ := range layout {
+		fmt.Fprintf(w, "  rank %3d -> core %3d (node %d, socket %d)\n",
+			r, core_, c.NodeOf(core_), c.SocketOf(core_))
+	}
+	return nil
+}
+
+// explainConfig prices one configuration on the GPC model and prints the
+// per-stage cost breakdown of the simnet model.
+func explainConfig(w io.Writer, spec string, p int) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("explain wants layout,pattern,sizeBytes, got %q", spec)
+	}
+	var kind topology.LayoutKind
+	found := false
+	for _, cand := range topology.AllLayouts {
+		if cand.String() == strings.TrimSpace(parts[0]) {
+			kind, found = cand, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown layout %q", parts[0])
+	}
+	var pat core.Pattern
+	switch strings.TrimSpace(parts[1]) {
+	case "rd", "recursive-doubling":
+		pat = core.RecursiveDoubling
+	case "ring":
+		pat = core.Ring
+	case "bcast":
+		pat = core.BinomialBroadcast
+	case "gather":
+		pat = core.BinomialGather
+	default:
+		return fmt.Errorf("unknown pattern %q", parts[1])
+	}
+	size, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return err
+	}
+	cluster := topology.GPC()
+	machine, err := simnet.NewMachine(cluster, simnet.DefaultParams())
+	if err != nil {
+		return err
+	}
+	layout, err := topology.Layout(cluster, p, kind)
+	if err != nil {
+		return err
+	}
+	s, err := sched.ForPattern(pat, p)
+	if err != nil {
+		return err
+	}
+	b, err := machine.Explain(s, layout, size)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "breakdown: %v, %v, %d ranks, %dB per process\n", kind, pat, p, size)
+	fmt.Fprint(w, b.String())
+	return nil
+}
+
+func dumpRoute(w io.Writer, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("route wants src,dst, got %q", spec)
+	}
+	src, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	dst, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	f := topology.GPCFatTree()
+	if src < 0 || dst < 0 || src >= f.Nodes() || dst >= f.Nodes() {
+		return fmt.Errorf("nodes must be in 0..%d", f.Nodes()-1)
+	}
+	if src == dst {
+		return fmt.Errorf("src and dst are the same node")
+	}
+	links := f.Route(nil, src, dst)
+	fmt.Fprintf(w, "route node %d -> node %d (%d hops):\n", src, dst, len(links))
+	for _, l := range links {
+		fmt.Fprintf(w, "  %-10v A=%d B=%d (x%d cables)\n", l.Kind, l.A, l.B, f.Multiplicity(l))
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunGPC(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true, "", "", "", "", 8, 2, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GPC model", "4096", "fat-tree", "distance samples"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunPatterns(t *testing.T) {
+	for _, name := range []string{"rd", "ring", "bcast", "gather"} {
+		var buf bytes.Buffer
+		if err := run(&buf, false, name, "", "", "", 8, 2, 2, 4); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "pattern graph") {
+			t.Errorf("%s: missing pattern graph summary", name)
+		}
+	}
+	if err := run(&bytes.Buffer{}, false, "nope", "", "", "", 8, 2, 2, 4); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestRunLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, false, "", "cyclic-bunch", "", "", 16, 2, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rank  15") {
+		t.Errorf("missing rank rows:\n%s", buf.String())
+	}
+	if err := run(&bytes.Buffer{}, false, "", "bogus", "", "", 8, 2, 2, 4); err == nil {
+		t.Error("unknown layout accepted")
+	}
+	if err := run(&bytes.Buffer{}, false, "", "block-bunch", "", "", 99, 2, 2, 4); err == nil {
+		t.Error("oversubscription accepted")
+	}
+}
+
+func TestRunRoute(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, false, "", "", "0,496", "", 8, 2, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node-leaf") || !strings.Contains(out, "line-spine") {
+		t.Errorf("route output incomplete:\n%s", out)
+	}
+	for _, bad := range []string{"0", "0,0", "0,99999", "x,y"} {
+		if err := run(&bytes.Buffer{}, false, "", "", bad, "", 8, 2, 2, 4); err == nil {
+			t.Errorf("route %q accepted", bad)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, false, "", "", "", "cyclic-bunch,ring,65536", 256, 2, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"breakdown:", "total:", "transfers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q", want)
+		}
+	}
+	for _, bad := range []string{"x", "a,b", "bogus,ring,64", "block-bunch,bogus,64", "block-bunch,ring,zzz"} {
+		if err := run(&bytes.Buffer{}, false, "", "", "", bad, 8, 2, 2, 4); err == nil {
+			t.Errorf("explain %q accepted", bad)
+		}
+	}
+}

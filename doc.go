@@ -1,0 +1,38 @@
+// Package repro is a Go reproduction of "Topology-Aware Rank Reordering for
+// MPI Collectives" (Mirsadeghi & Afsahi, IPDPS Workshops 2016): fine-tuned
+// mapping heuristics that reorder MPI ranks so that the communication
+// pattern of MPI_Allgather (and the broadcast/gather patterns inside its
+// hierarchical variants) matches the physical topology of a multicore
+// cluster, at both the intra- and inter-node levels.
+//
+// The package is the public facade over the building blocks in internal/:
+//
+//   - a hardware topology model with fat-tree networks and distance
+//     extraction (internal/topology, internal/hwdisc),
+//   - the paper's four mapping heuristics RDMH, RMH, BBMH and BGMH
+//     (internal/core) and a Scotch-style general mapper baseline
+//     (internal/scotch, internal/patterns, internal/graph),
+//   - a goroutine-based MPI-like runtime with reorderable communicators and
+//     real allgather/broadcast/gather implementations (internal/mpi,
+//     internal/collective),
+//   - static communication schedules and a contention-aware cost model that
+//     substitutes for the paper's 4096-core InfiniBand testbed
+//     (internal/sched, internal/simnet),
+//   - the evaluation harness regenerating every figure of the paper
+//     (internal/experiments, internal/osu, internal/app).
+//
+// # Quick start
+//
+// Model a cluster, lay processes out, and compute a topology-aware
+// reordering for the ring allgather:
+//
+//	cluster := repro.GPC()
+//	layout, _ := repro.NewLayout(cluster, 4096, repro.CyclicBunch)
+//	plan, _ := repro.Plan(cluster, layout, repro.Ring)
+//	fmt.Println(plan.Mapping[:8], plan.DiscoveryTime)
+//
+// Then either price the effect on the cost model (repro.NewMachine,
+// plan.Speedup) or apply it to a live run of the bundled MPI runtime
+// (repro.Run + repro.NewReordered). The runnable programs under examples/
+// exercise both paths, and cmd/reproduce regenerates the paper's figures.
+package repro

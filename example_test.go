@@ -1,0 +1,72 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExamplePlan shows the complete planning workflow on a small cluster: a
+// cyclic layout ruins ring locality, and the ring heuristic (RMH) restores
+// it.
+func ExamplePlan() {
+	cluster, err := repro.NewCluster(2, 2, 2, repro.TwoLevelFatTree(1, 2, 1))
+	if err != nil {
+		panic(err)
+	}
+	layout, err := repro.NewLayout(cluster, 8, repro.CyclicBunch)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := repro.Plan(cluster, layout, repro.Ring)
+	if err != nil {
+		panic(err)
+	}
+	machine, err := repro.NewMachine(cluster, repro.DefaultCostParams())
+	if err != nil {
+		panic(err)
+	}
+	_, _, improvement, err := plan.Speedup(machine, 64*1024)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("mapping:", plan.Mapping)
+	fmt.Printf("ring latency improvement: %.0f%%\n", improvement)
+	// Output:
+	// mapping: [0 2 4 6 1 3 5 7]
+	// ring latency improvement: 73%
+}
+
+// ExampleRun performs a real allgather over the bundled runtime.
+func ExampleRun() {
+	const p = 4
+	err := repro.Run(p, func(c *repro.Comm) error {
+		send := []byte{byte('a' + c.Rank())}
+		recv := make([]byte, p)
+		if err := repro.Allgather(c, send, recv, repro.AlgAuto); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Println(string(recv))
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// abcd
+}
+
+// ExampleMapping_Apply shows how a mapping permutes a physical layout.
+func ExampleMapping_Apply() {
+	layout := []int{10, 11, 12, 13}
+	m := repro.Mapping{0, 2, 1, 3}
+	reordered, err := m.Apply(layout)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(reordered)
+	// Output:
+	// [10 12 11 13]
+}

@@ -1,0 +1,54 @@
+// Application: run the paper's allgather-heavy synthetic application for
+// real on the goroutine runtime at laptop scale, then reproduce the
+// application study of Figs. 5/6 on the cost model at the paper's 1024
+// processes.
+//
+// Run with: go run ./examples/application
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/experiments"
+)
+
+func main() {
+	// Part 1: actually execute a miniature version of the application on
+	// the concurrent runtime (16 ranks, a handful of steps).
+	mini := app.Config{
+		Procs:          16,
+		MsgBytes:       4 * 1024,
+		Steps:          10,
+		ComputePerStep: time.Millisecond,
+	}
+	elapsed, err := app.RunReal(mini, 0 /* AlgAuto */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mini application: %d ranks x %d steps ran in %v on the goroutine runtime\n",
+		mini.Procs, mini.Steps, elapsed.Round(time.Millisecond))
+
+	// Part 2: the paper's application study (Fig. 5) on the cost model.
+	cfg := app.DefaultConfig()
+	setup, err := experiments.NewSetup(cfg.Procs, []int{cfg.MsgBytes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	panels, err := experiments.Fig5(setup, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napplication study at %d processes, %d allgather calls of %dB each\n",
+		cfg.Procs, cfg.Steps, cfg.MsgBytes)
+	fmt.Println("(normalized execution time; default mapping = 1.000)")
+	for _, p := range panels {
+		fmt.Printf("  %-16v", p.Layout)
+		for _, r := range p.Results {
+			fmt.Printf("  %s=%.3f", r.Variant, r.Normalized)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,61 @@
+package app
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/collective"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Steps != 358 {
+		t.Errorf("paper profile has 358 allgather calls, config has %d", cfg.Steps)
+	}
+	if cfg.Procs != 1024 {
+		t.Errorf("paper application runs at 1024 processes, config has %d", cfg.Procs)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Procs: 0, MsgBytes: 1, Steps: 1},
+		{Procs: 1, MsgBytes: 0, Steps: 1},
+		{Procs: 1, MsgBytes: 1, Steps: 0},
+		{Procs: 1, MsgBytes: 1, Steps: 1, ComputePerStep: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestModeledTime(t *testing.T) {
+	cfg := Config{Procs: 4, MsgBytes: 8, Steps: 10, ComputePerStep: 100 * time.Millisecond}
+	got := cfg.ModeledTime(0.05, 2)
+	want := 2 + 10*(0.1+0.05)
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("ModeledTime = %g, want %g", got, want)
+	}
+}
+
+func TestRunRealExecutes(t *testing.T) {
+	cfg := Config{Procs: 8, MsgBytes: 256, Steps: 3, ComputePerStep: time.Millisecond}
+	elapsed, err := RunReal(cfg, collective.AlgAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 3*time.Millisecond {
+		t.Errorf("elapsed %v shorter than the compute floor", elapsed)
+	}
+}
+
+func TestRunRealRejectsBadConfig(t *testing.T) {
+	if _, err := RunReal(Config{}, collective.AlgAuto); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

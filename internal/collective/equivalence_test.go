@@ -1,0 +1,162 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// scheduleTraffic aggregates the per-pair byte volume a schedule predicts
+// for the given per-block message size.
+func scheduleTraffic(s *sched.Schedule, blk int) map[[2]int]int64 {
+	out := map[[2]int]int64{}
+	for _, st := range s.Stages {
+		reps := st.Repeat
+		if reps < 1 {
+			reps = 1
+		}
+		for _, tr := range st.Transfers {
+			out[[2]int{int(tr.Src), int(tr.Dst)}] += int64(reps) * int64(tr.N) * int64(blk)
+		}
+	}
+	return out
+}
+
+// TestScheduleMatchesRuntimeTraffic cross-validates the two execution paths:
+// the static schedules (used by the cost model) must predict exactly the
+// point-to-point traffic the live runtime implementation generates, pair by
+// pair and byte for byte.
+func TestScheduleMatchesRuntimeTraffic(t *testing.T) {
+	const blk = 64
+	cases := []struct {
+		name  string
+		p     int
+		build func(p int) (*sched.Schedule, error)
+		run   func(c *mpi.Comm, send, recv []byte) error
+	}{
+		{"recursive-doubling", 16, sched.RecursiveDoubling, func(c *mpi.Comm, send, recv []byte) error {
+			return RecursiveDoublingAllgather(c, send, recv)
+		}},
+		{"ring", 12, sched.Ring, func(c *mpi.Comm, send, recv []byte) error {
+			return RingAllgather(c, send, recv, nil)
+		}},
+		{"bruck", 11, sched.Bruck, func(c *mpi.Comm, send, recv []byte) error {
+			return BruckAllgather(c, send, recv)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := tc.build(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := scheduleTraffic(s, blk)
+
+			stats := mpi.NewStats()
+			err = mpi.Run(tc.p, func(c *mpi.Comm) error {
+				send := input(c.Rank(), blk)
+				recv := make([]byte, tc.p*blk)
+				return tc.run(c, send, recv)
+			}, mpi.WithStats(stats))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			got := stats.PairBytes()
+			for pair, bytes := range want {
+				if got[pair] != bytes {
+					t.Errorf("pair %v: schedule predicts %d bytes, runtime sent %d", pair, bytes, got[pair])
+				}
+			}
+			for pair, bytes := range got {
+				if want[pair] == 0 && bytes != 0 {
+					t.Errorf("pair %v: runtime sent %d bytes the schedule does not predict", pair, bytes)
+				}
+			}
+			if stats.TotalBytes() != s.TotalBlocksMoved()*blk {
+				t.Errorf("total: schedule %d bytes, runtime %d",
+					s.TotalBlocksMoved()*blk, stats.TotalBytes())
+			}
+		})
+	}
+}
+
+// TestScheduleMatchesRuntimeTreeTraffic does the same for the tree
+// collectives (gather, broadcast, scatter), whose transfer sizes vary by
+// stage.
+func TestScheduleMatchesRuntimeTreeTraffic(t *testing.T) {
+	const blk = 32
+	const p = 13
+	cases := []struct {
+		name  string
+		build func() (*sched.Schedule, error)
+		run   func(c *mpi.Comm) error
+	}{
+		{"binomial-gather", func() (*sched.Schedule, error) { return sched.BinomialGather(p) },
+			func(c *mpi.Comm) error {
+				var recv []byte
+				if c.Rank() == 0 {
+					recv = make([]byte, p*blk)
+				}
+				return BinomialGather(c, 0, input(c.Rank(), blk), recv, nil)
+			}},
+		{"binomial-scatter", func() (*sched.Schedule, error) { return sched.BinomialScatter(p) },
+			func(c *mpi.Comm) error {
+				var data []byte
+				if c.Rank() == 0 {
+					data = make([]byte, p*blk)
+				}
+				return BinomialScatter(c, 0, data, make([]byte, blk))
+			}},
+		{"binomial-broadcast", func() (*sched.Schedule, error) { return sched.BinomialBroadcast(p, 1) },
+			func(c *mpi.Comm) error {
+				return BinomialBroadcast(c, 0, make([]byte, blk))
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := scheduleTraffic(s, blk)
+			stats := mpi.NewStats()
+			if err := mpi.Run(p, func(c *mpi.Comm) error { return tc.run(c) }, mpi.WithStats(stats)); err != nil {
+				t.Fatal(err)
+			}
+			got := stats.PairBytes()
+			if len(got) != len(want) {
+				t.Errorf("schedule has %d communicating pairs, runtime %d", len(want), len(got))
+			}
+			for pair, bytes := range want {
+				if got[pair] != bytes {
+					t.Errorf("pair %v: schedule predicts %d bytes, runtime sent %d", pair, bytes, got[pair])
+				}
+			}
+		})
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	stats := mpi.NewStats()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, make([]byte, 10))
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	}, mpi.WithStats(stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages(0, 1) != 1 || stats.Bytes(0, 1) != 10 {
+		t.Errorf("stats(0->1) = %d msgs, %d bytes", stats.Messages(0, 1), stats.Bytes(0, 1))
+	}
+	if stats.Messages(1, 0) != 0 {
+		t.Error("phantom reverse traffic")
+	}
+	if stats.TotalMessages() != 1 || stats.TotalBytes() != 10 {
+		t.Error("totals wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// HierarchicalAllgather runs the three-phase hierarchical allgather of paper
+// Section II: intra-node gather into node leaders, inter-leader allgather,
+// intra-node broadcast. nodeID assigns every *world* rank to its node (or
+// any other grouping domain); all processes must pass consistent functions.
+//
+// Every payload block travels with an 8-byte header carrying its
+// contributor's communicator rank, so the final output lands in correct rank
+// order on every process regardless of how ranks are spread over nodes —
+// the runtime counterpart of the order-preservation bookkeeping that the
+// schedule model prices.
+func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank int) int, cfg sched.HierarchicalConfig) error {
+	blk, err := checkAllgatherArgs(c, send, recv)
+	if err != nil {
+		return err
+	}
+	p := c.Size()
+
+	// Node communicator: processes sharing a node, ordered by comm rank.
+	nodeComm, err := c.Split(nodeID(c.WorldRank()), c.Rank())
+	if err != nil {
+		return fmt.Errorf("collective: hierarchical node split: %w", err)
+	}
+	if nodeComm == nil {
+		return fmt.Errorf("collective: hierarchical node split produced no communicator")
+	}
+	isLeader := nodeComm.Rank() == 0
+	leaderColor := -1
+	if isLeader {
+		leaderColor = 0
+	}
+	leaderComm, err := c.Split(leaderColor, c.Rank())
+	if err != nil {
+		return fmt.Errorf("collective: hierarchical leader split: %w", err)
+	}
+
+	// Tagged block: 8-byte contributor rank + payload.
+	rec := make([]byte, 8+blk)
+	binary.LittleEndian.PutUint64(rec, uint64(c.Rank()))
+	copy(rec[8:], send)
+
+	k := nodeComm.Size()
+	var nodeBuf []byte
+	if isLeader {
+		nodeBuf = make([]byte, k*(8+blk))
+	}
+
+	// Phase 1: gather tagged blocks into the leader.
+	switch cfg.Intra {
+	case sched.Linear:
+		err = LinearGather(nodeComm, 0, rec, nodeBuf, nil)
+	case sched.NonLinear:
+		err = BinomialGather(nodeComm, 0, rec, nodeBuf, nil)
+	default:
+		return fmt.Errorf("collective: unknown intra kind %d", cfg.Intra)
+	}
+	if err != nil {
+		return fmt.Errorf("collective: hierarchical gather phase: %w", err)
+	}
+
+	// Phase 2: allgather among leaders. Requires equal node populations,
+	// like the paper's fully populated allocations.
+	full := make([]byte, p*(8+blk))
+	if isLeader {
+		if leaderComm == nil {
+			return fmt.Errorf("collective: leader without leader communicator")
+		}
+		g := leaderComm.Size()
+		if g*k != p {
+			return fmt.Errorf("collective: hierarchical needs uniform node populations (%d nodes x %d ranks != %d)",
+				g, k, p)
+		}
+		switch cfg.Inter {
+		case sched.InterRecursiveDoubling:
+			err = RecursiveDoublingAllgather(leaderComm, nodeBuf, full)
+		case sched.InterRing:
+			err = RingAllgather(leaderComm, nodeBuf, full, nil)
+		default:
+			return fmt.Errorf("collective: unknown inter kind %d", cfg.Inter)
+		}
+		if err != nil {
+			return fmt.Errorf("collective: hierarchical inter phase: %w", err)
+		}
+	}
+
+	// Phase 3: broadcast the assembled buffer inside each node.
+	switch cfg.Intra {
+	case sched.Linear:
+		err = LinearBroadcast(nodeComm, 0, full)
+	default:
+		err = BinomialBroadcast(nodeComm, 0, full)
+	}
+	if err != nil {
+		return fmt.Errorf("collective: hierarchical broadcast phase: %w", err)
+	}
+
+	// Scatter tagged blocks into rank order.
+	filled := make([]bool, p)
+	for j := 0; j < p; j++ {
+		entry := full[j*(8+blk) : (j+1)*(8+blk)]
+		r := int(binary.LittleEndian.Uint64(entry))
+		if r < 0 || r >= p {
+			return fmt.Errorf("collective: hierarchical block %d tagged with rank %d", j, r)
+		}
+		if filled[r] {
+			return fmt.Errorf("collective: hierarchical received two blocks for rank %d", r)
+		}
+		filled[r] = true
+		copy(recv[r*blk:], entry[8:])
+	}
+	for r, ok := range filled {
+		if !ok {
+			return fmt.Errorf("collective: hierarchical missing block of rank %d", r)
+		}
+	}
+	return nil
+}

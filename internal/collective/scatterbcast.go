@@ -1,0 +1,94 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// tag base for scatter traffic.
+const tagScatter = 6 << 20
+
+// BinomialScatter distributes root's buffer across the communicator along
+// the binomial tree: rank r ends up with chunk r in its out slice (chunk
+// size = len(root's data)/p, which must divide evenly). data is read on the
+// root only; out must be one chunk long on every rank.
+func BinomialScatter(c *mpi.Comm, root int, data, out []byte) error {
+	p, me := c.Size(), c.Rank()
+	if root < 0 || root >= p {
+		return fmt.Errorf("collective: scatter root %d outside communicator of size %d", root, p)
+	}
+	chunk := len(out)
+	if chunk == 0 {
+		return fmt.Errorf("collective: empty scatter chunk")
+	}
+	if me == root && len(data) != p*chunk {
+		return fmt.Errorf("collective: scatter data is %d bytes, want %d", len(data), p*chunk)
+	}
+	vr := ((me-root)%p + p) % p
+	// tmp holds the contiguous virtual-rank range [vr, vr+span) this rank
+	// is responsible for distributing.
+	var tmp []byte
+	if me == root {
+		// Rotate into virtual-rank order so the tree ranges are contiguous.
+		tmp = make([]byte, p*chunk)
+		for j := 0; j < p; j++ {
+			r := (j + root) % p
+			copy(tmp[j*chunk:], data[r*chunk:(r+1)*chunk])
+		}
+	} else {
+		// Receive my range from the parent; vr's lowest set bit identifies
+		// the stage (vr == 0 is the root and never reaches this branch).
+		low := vr & (-vr)
+		parent := (vr - low + root) % p
+		in, err := c.Recv(parent, tagScatter+maskLog(low))
+		if err != nil {
+			return err
+		}
+		want := subtreeSize(vr, p) * chunk
+		if len(in) != want {
+			return fmt.Errorf("collective: scatter received %d bytes, want %d", len(in), want)
+		}
+		tmp = in
+	}
+	// Forward sub-ranges to children, widest stride first.
+	span := subtreeSize(vr, p)
+	start := 1
+	for start < span {
+		start <<= 1
+	}
+	for pow := start >> 1; pow >= 1; pow >>= 1 {
+		if pow >= span {
+			continue
+		}
+		childVr := vr + pow
+		if childVr >= p {
+			continue
+		}
+		size := subtreeSize(childVr, p)
+		child := (childVr + root) % p
+		if err := c.Send(child, tagScatter+maskLog(pow), tmp[pow*chunk:(pow+size)*chunk]); err != nil {
+			return err
+		}
+	}
+	copy(out, tmp[:chunk])
+	return nil
+}
+
+// ScatterAllgatherBroadcast broadcasts data (same length everywhere; the
+// root's content wins) using the large-message algorithm of MPI libraries:
+// a binomial scatter of p chunks followed by a ring allgather (paper Section
+// V-A3). The data length must be divisible by the communicator size.
+func ScatterAllgatherBroadcast(c *mpi.Comm, root int, data []byte) error {
+	p := c.Size()
+	if len(data) == 0 || len(data)%p != 0 {
+		return fmt.Errorf("collective: scatter-allgather broadcast needs a buffer divisible by %d ranks, got %d bytes",
+			p, len(data))
+	}
+	chunk := len(data) / p
+	mine := make([]byte, chunk)
+	if err := BinomialScatter(c, root, data, mine); err != nil {
+		return err
+	}
+	return RingAllgather(c, mine, data, nil)
+}

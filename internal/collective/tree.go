@@ -1,0 +1,195 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// BinomialBroadcast broadcasts data (same length on every rank; the root's
+// content wins) along the binomial tree rooted at root. Non-root ranks
+// receive into data. This is the MPI_Bcast building block and phase 3 of the
+// hierarchical allgather.
+func BinomialBroadcast(c *mpi.Comm, root int, data []byte) error {
+	p, me := c.Size(), c.Rank()
+	if root < 0 || root >= p {
+		return fmt.Errorf("collective: broadcast root %d outside communicator of size %d", root, p)
+	}
+	if p == 1 {
+		return nil
+	}
+	vr := ((me-root)%p + p) % p
+	// Receive from the parent (clear the lowest set bit of vr).
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			parent := (vr - mask + root) % p
+			in, err := c.Recv(parent, tagBcast+maskLog(mask))
+			if err != nil {
+				return err
+			}
+			if len(in) != len(data) {
+				return fmt.Errorf("collective: broadcast received %d bytes, want %d", len(in), len(data))
+			}
+			copy(data, in)
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children, largest subtree first (classic order).
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < p {
+			child := (vr + mask + root) % p
+			if err := c.Send(child, tagBcast+maskLog(mask), data); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// maskLog returns log2 of a power-of-two mask, for stage-distinct tags.
+func maskLog(mask int) int {
+	l := 0
+	for mask > 1 {
+		mask >>= 1
+		l++
+	}
+	return l
+}
+
+// BinomialGather gathers one block from every rank to root along the
+// binomial tree: message sizes double toward the root. On the root, recv
+// (p blocks) is filled with rank r's block at position place(r) (identity
+// when place is nil); recv is ignored on other ranks.
+func BinomialGather(c *mpi.Comm, root int, send, recv []byte, place Placement) error {
+	p, me := c.Size(), c.Rank()
+	blk := len(send)
+	if blk == 0 {
+		return fmt.Errorf("collective: empty send buffer")
+	}
+	if root < 0 || root >= p {
+		return fmt.Errorf("collective: gather root %d outside communicator of size %d", root, p)
+	}
+	if me == root && len(recv) != p*blk {
+		return fmt.Errorf("collective: gather recv buffer is %d bytes, want %d", len(recv), p*blk)
+	}
+	vr := ((me-root)%p + p) % p
+	// tmp accumulates the contiguous virtual-rank range [vr, vr+cnt).
+	tmp := make([]byte, subtreeSize(vr, p)*blk)
+	copy(tmp, send)
+	cnt := 1
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			// Send the gathered subtree to the parent and stop.
+			parent := (vr - mask + root) % p
+			if err := c.Send(parent, tagGather+maskLog(mask), tmp[:cnt*blk]); err != nil {
+				return err
+			}
+			return nil
+		}
+		// Receive from child vr+mask if it exists.
+		if vr+mask < p {
+			child := (vr + mask + root) % p
+			in, err := c.Recv(child, tagGather+maskLog(mask))
+			if err != nil {
+				return err
+			}
+			want := subtreeSize(vr+mask, p) * blk
+			if len(in) != want {
+				return fmt.Errorf("collective: gather received %d bytes from child, want %d", len(in), want)
+			}
+			copy(tmp[cnt*blk:], in)
+			cnt += len(in) / blk
+		}
+	}
+	if me != root {
+		return nil
+	}
+	if cnt != p {
+		return fmt.Errorf("collective: gather root assembled %d of %d blocks", cnt, p)
+	}
+	// tmp[j] is the block of virtual rank j = comm rank (j + root) mod p.
+	for j := 0; j < p; j++ {
+		r := (j + root) % p
+		copy(recv[position(place, r)*blk:], tmp[j*blk:(j+1)*blk])
+	}
+	return nil
+}
+
+// subtreeSize returns the number of virtual ranks in the binomial subtree
+// rooted at vr within a tree of p ranks: the largest 2^k with vr mod 2^k == 0
+// and vr + 2^k clipped to p.
+func subtreeSize(vr, p int) int {
+	if vr == 0 {
+		return p
+	}
+	size := vr & (-vr) // lowest set bit
+	if vr+size > p {
+		size = p - vr
+	}
+	return size
+}
+
+// LinearGather gathers one block from every rank directly to root.
+func LinearGather(c *mpi.Comm, root int, send, recv []byte, place Placement) error {
+	p, me := c.Size(), c.Rank()
+	blk := len(send)
+	if blk == 0 {
+		return fmt.Errorf("collective: empty send buffer")
+	}
+	if root < 0 || root >= p {
+		return fmt.Errorf("collective: gather root %d outside communicator of size %d", root, p)
+	}
+	if me != root {
+		return c.Send(root, tagGather, send)
+	}
+	if len(recv) != p*blk {
+		return fmt.Errorf("collective: gather recv buffer is %d bytes, want %d", len(recv), p*blk)
+	}
+	copy(recv[position(place, root)*blk:], send)
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		in, err := c.Recv(r, tagGather)
+		if err != nil {
+			return err
+		}
+		if len(in) != blk {
+			return fmt.Errorf("collective: gather received %d bytes from rank %d, want %d", len(in), r, blk)
+		}
+		copy(recv[position(place, r)*blk:], in)
+	}
+	return nil
+}
+
+// LinearBroadcast sends data from root directly to every other rank.
+func LinearBroadcast(c *mpi.Comm, root int, data []byte) error {
+	p, me := c.Size(), c.Rank()
+	if root < 0 || root >= p {
+		return fmt.Errorf("collective: broadcast root %d outside communicator of size %d", root, p)
+	}
+	if me == root {
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagBcast, data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	in, err := c.Recv(root, tagBcast)
+	if err != nil {
+		return err
+	}
+	if len(in) != len(data) {
+		return fmt.Errorf("collective: broadcast received %d bytes, want %d", len(in), len(data))
+	}
+	copy(data, in)
+	return nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import "repro/internal/topology"
+
+// BKMH is a mapping heuristic for the Bruck allgather communication pattern
+// — the paper's first future-work item ("we intend to extend our heuristics
+// to other allgather algorithms such as Bruck"), implemented here following
+// the same design recipe as RDMH.
+//
+// At stage s of the Bruck algorithm, rank i sends min(2^s, p-2^s) blocks to
+// rank (i - 2^s) mod p and receives as many from (i + 2^s) mod p, so message
+// volume grows toward the later stages just as in recursive doubling — but
+// over additive strides instead of XOR masks. BKMH therefore walks stages
+// from the last (heaviest) to the first, mapping the stride peer of the
+// reference core as close to it as possible and advancing the reference
+// after every two placements, exactly mirroring Algorithm 2's structure.
+func BKMH(d *topology.Distances, opts *Options) (Mapping, error) {
+	mp, err := newMapper(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := d.N()
+	refUpdate := opts.rdmhRefUpdate()
+	top := prevPow2(p)
+	ref := 0
+	i := top
+	placedAtRef := 0
+	for mp.left > 0 {
+		for i > 0 && mp.mapped((ref+i)%p) {
+			i >>= 1
+		}
+		if i == 0 {
+			ref, i = mp.refWithFreeStridePartner(p, top)
+			placedAtRef = 0
+			continue
+		}
+		newRank := (ref + i) % p
+		mp.placeNear(newRank, ref)
+		placedAtRef++
+		if refUpdate > 0 && placedAtRef == refUpdate {
+			ref = newRank
+			i = top
+			placedAtRef = 0
+		}
+	}
+	return mp.m, nil
+}
+
+// refWithFreeStridePartner scans for a mapped rank with an unmapped additive
+// stride partner, preferring the largest stride (heaviest stage).
+func (mp *mapper) refWithFreeStridePartner(p, top int) (ref, stride int) {
+	for i := top; i > 0; i >>= 1 {
+		for r := 0; r < p; r++ {
+			if mp.mapped(r) && !mp.mapped((r+i)%p) {
+				return r, i
+			}
+		}
+	}
+	// Unreachable while unmapped ranks remain: stride 1 connects every rank
+	// to its successor, and at least rank 0 is mapped.
+	panic("core: no reference with free stride partner while ranks remain")
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestBKMHProducesPermutations(t *testing.T) {
+	c := testCluster()
+	for _, p := range []int{1, 2, 3, 5, 8, 12, 16, 31, 32, 64} {
+		for _, k := range topology.AllLayouts {
+			d := distancesFor(t, c, p, k)
+			m, err := BKMH(d, nil)
+			if err != nil {
+				t.Fatalf("BKMH(p=%d,%v): %v", p, k, err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Errorf("BKMH(p=%d,%v): %v", p, k, err)
+			}
+			if m[0] != 0 {
+				t.Errorf("BKMH(p=%d,%v): rank 0 moved", p, k)
+			}
+		}
+	}
+}
+
+// bruckCost weights each Bruck stage's stride edges by the block count that
+// stage carries.
+func bruckCost(d *topology.Distances, m Mapping) int64 {
+	p := len(m)
+	var sum int64
+	for s := 1; s < p; s <<= 1 {
+		cnt := s
+		if p-s < cnt {
+			cnt = p - s
+		}
+		for i := 0; i < p; i++ {
+			sum += int64(cnt) * int64(d.At(m[i], m[(i+s)%p]))
+		}
+	}
+	return sum
+}
+
+func TestBKMHImprovesBruckCost(t *testing.T) {
+	c := testCluster()
+	for _, p := range []int{32, 48, 64} {
+		d := distancesFor(t, c, p, topology.CyclicBunch)
+		m, err := BKMH(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, after := bruckCost(d, Identity(p)), bruckCost(d, m)
+		if after >= before {
+			t.Errorf("p=%d: BKMH did not improve Bruck cost: %d -> %d", p, before, after)
+		}
+	}
+}
+
+func TestBKMHBeatsRingHeuristicOnBruck(t *testing.T) {
+	// The pattern-specific heuristic should beat borrowing RMH, which only
+	// optimises the stride-1 stage.
+	c := testCluster()
+	p := 64
+	d := distancesFor(t, c, p, topology.CyclicScatter)
+	bk, err := BKMH(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := RMH(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bruckCost(d, bk) >= bruckCost(d, rm) {
+		t.Errorf("BKMH (%d) not better than RMH (%d) on the Bruck pattern",
+			bruckCost(d, bk), bruckCost(d, rm))
+	}
+}
+
+func TestBKMHLastStagePeerClose(t *testing.T) {
+	c := testCluster()
+	p := 64
+	d := distancesFor(t, c, p, topology.BlockBunch)
+	m, err := BKMH(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.At(m[0], m[p/2]); got != 1 {
+		t.Errorf("distance(rank 0, last-stage peer) = %d, want 1", got)
+	}
+}

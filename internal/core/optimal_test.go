@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestPatternCostMatchesTestOracles(t *testing.T) {
+	c := testCluster()
+	d := distancesFor(t, c, 8, topology.CyclicScatter)
+	m := Mapping{0, 3, 1, 2, 6, 7, 4, 5}
+	ringFn, err := PatternCost(Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ringFn(d, m), float64(ringCost(d, m)); got != want {
+		t.Errorf("ring cost %g != oracle %g", got, want)
+	}
+	rdFn, _ := PatternCost(RecursiveDoubling)
+	if got, want := rdFn(d, m), float64(rdCost(d, m)); got != want {
+		t.Errorf("rd cost %g != oracle %g", got, want)
+	}
+	bcFn, _ := PatternCost(BinomialBroadcast)
+	if got, want := bcFn(d, m), float64(bcastCost(d, m)); got != want {
+		t.Errorf("bcast cost %g != oracle %g", got, want)
+	}
+	bgFn, _ := PatternCost(BinomialGather)
+	if got, want := bgFn(d, m), float64(gatherCost(d, m)); got != want {
+		t.Errorf("gather cost %g != oracle %g", got, want)
+	}
+	if _, err := PatternCost(Pattern(77)); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestOptimalGuards(t *testing.T) {
+	c := testCluster()
+	d := distancesFor(t, c, 16, topology.BlockBunch)
+	ringFn, _ := PatternCost(Ring)
+	if _, _, err := Optimal(d, ringFn); err == nil {
+		t.Error("oversized search accepted")
+	}
+	if _, _, err := Optimal(&topology.Distances{}, ringFn); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+// TestHeuristicsNearOptimal quantifies the paper's heuristics against the
+// exhaustive optimum on a small two-node system: the greedy mappings must
+// come within 15% of the optimal distance-weighted cost for every pattern
+// and layout (they are exactly optimal in most cells).
+func TestHeuristicsNearOptimal(t *testing.T) {
+	c, err := topology.NewCluster(2, 2, 2, nil) // 2 nodes x 4 cores
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range Patterns {
+		costFn, err := PatternCost(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := pat.Heuristic()
+		for _, kind := range topology.AllLayouts {
+			layout := topology.MustLayout(c, 8, kind)
+			d, err := topology.NewDistances(c, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := h(d, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, optCost, err := Optimal(d, costFn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := costFn(d, m)
+			if got < optCost {
+				t.Fatalf("%v/%v: heuristic %g beat the 'optimal' %g — search bug", pat, kind, got, optCost)
+			}
+			if optCost > 0 && got > optCost*1.15 {
+				t.Errorf("%v/%v: heuristic cost %g vs optimal %g (>15%% off)", pat, kind, got, optCost)
+			}
+		}
+	}
+}
+
+// TestBKMHNearOptimal does the same for the Bruck extension heuristic.
+func TestBKMHNearOptimal(t *testing.T) {
+	c, err := topology.NewCluster(2, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bruckFn := func(d *topology.Distances, m Mapping) float64 {
+		return float64(bruckCost(d, m))
+	}
+	for _, kind := range topology.AllLayouts {
+		layout := topology.MustLayout(c, 8, kind)
+		d, err := topology.NewDistances(c, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := BKMH(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, optCost, err := Optimal(d, bruckFn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bruckFn(d, m); optCost > 0 && got > optCost*1.25 {
+			t.Errorf("%v: BKMH cost %g vs optimal %g (>25%% off)", kind, got, optCost)
+		}
+	}
+}

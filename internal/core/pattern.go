@@ -1,0 +1,60 @@
+package core
+
+import "fmt"
+
+// Pattern names the collective communication patterns for which fine-tuned
+// mapping heuristics exist (paper Section V-A). The pattern is derived from
+// the algorithm the MPI library will use, so rank reordering can "jump right
+// to the mapping step" without building a process topology graph.
+type Pattern uint8
+
+const (
+	// RecursiveDoubling is the pattern of the recursive doubling allgather:
+	// at stage s, rank i exchanges with rank i XOR 2^s, with message volume
+	// doubling every stage.
+	RecursiveDoubling Pattern = iota
+	// Ring is the pattern of the ring allgather: rank i receives from i-1
+	// and sends to i+1 at every stage.
+	Ring
+	// BinomialBroadcast is the binomial-tree broadcast pattern with a fixed
+	// message size across stages; also used by MPI_Bcast.
+	BinomialBroadcast
+	// BinomialGather is the binomial-tree gather pattern with message sizes
+	// growing toward the root; also used by MPI_Gather.
+	BinomialGather
+)
+
+// Patterns lists every supported pattern.
+var Patterns = []Pattern{RecursiveDoubling, Ring, BinomialBroadcast, BinomialGather}
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case RecursiveDoubling:
+		return "recursive-doubling"
+	case Ring:
+		return "ring"
+	case BinomialBroadcast:
+		return "binomial-broadcast"
+	case BinomialGather:
+		return "binomial-gather"
+	default:
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// Heuristic returns the fine-tuned mapping heuristic for the pattern.
+func (p Pattern) Heuristic() Heuristic {
+	switch p {
+	case RecursiveDoubling:
+		return RDMH
+	case Ring:
+		return RMH
+	case BinomialBroadcast:
+		return BBMH
+	case BinomialGather:
+		return BGMH
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestBBMHTraversalVariantsArePermutations(t *testing.T) {
+	c := testCluster()
+	for _, tr := range []Traversal{SmallerSubtreeFirst, LargerSubtreeFirst, BreadthFirst} {
+		for _, p := range []int{1, 2, 3, 7, 8, 16, 31, 64} {
+			for _, k := range topology.AllLayouts {
+				d := distancesFor(t, c, p, k)
+				m, err := BBMHWithTraversal(d, nil, tr)
+				if err != nil {
+					t.Fatalf("%v(p=%d,%v): %v", tr, p, k, err)
+				}
+				if err := m.Validate(); err != nil {
+					t.Errorf("%v(p=%d,%v): %v", tr, p, k, err)
+				}
+				if m[0] != 0 {
+					t.Errorf("%v(p=%d): rank 0 moved", tr, p)
+				}
+			}
+		}
+	}
+}
+
+func TestBBMHMatchesSmallerSubtreeFirst(t *testing.T) {
+	c := testCluster()
+	d := distancesFor(t, c, 64, topology.CyclicScatter)
+	a, err := BBMH(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BBMHWithTraversal(d, nil, SmallerSubtreeFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("BBMH diverges from explicit smaller-subtree-first at rank %d", i)
+		}
+	}
+}
+
+func TestTraversalVariantsDiffer(t *testing.T) {
+	// On a layout with real distance structure the traversal orders pick
+	// different placements: smaller-first places rank 1 (a leaf) adjacent
+	// to the root, larger-first places rank p/2 adjacent.
+	c := testCluster()
+	p := 64
+	d := distancesFor(t, c, p, topology.BlockBunch)
+	small, err := BBMHWithTraversal(d, nil, SmallerSubtreeFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := BBMHWithTraversal(d, nil, LargerSubtreeFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(small[0], small[1]) != 1 {
+		t.Errorf("smaller-first should place rank 1 adjacent, distance %d", d.At(small[0], small[1]))
+	}
+	if d.At(large[0], large[p/2]) != 1 {
+		t.Errorf("larger-first should place rank %d adjacent, distance %d", p/2, d.At(large[0], large[p/2]))
+	}
+}
+
+func TestTraversalUnknown(t *testing.T) {
+	c := testCluster()
+	d := distancesFor(t, c, 8, topology.BlockBunch)
+	if _, err := BBMHWithTraversal(d, nil, Traversal(77)); err == nil {
+		t.Error("unknown traversal accepted")
+	}
+}
+
+func TestTraversalString(t *testing.T) {
+	for _, tr := range []Traversal{SmallerSubtreeFirst, LargerSubtreeFirst, BreadthFirst, Traversal(9)} {
+		if tr.String() == "" {
+			t.Errorf("empty string for %d", uint8(tr))
+		}
+	}
+}
+
+func TestRDMHRefUpdateAblationKnob(t *testing.T) {
+	c := testCluster()
+	d := distancesFor(t, c, 64, topology.BlockBunch)
+	for _, cadence := range []int{-1, 1, 2, 4, 8} {
+		m, err := RDMH(d, &Options{RDMHRefUpdate: cadence})
+		if err != nil {
+			t.Fatalf("cadence %d: %v", cadence, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("cadence %d: %v", cadence, err)
+		}
+	}
+	// Default (0) equals explicit 2.
+	a, _ := RDMH(d, nil)
+	b, _ := RDMH(d, &Options{RDMHRefUpdate: 2})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("default cadence is not 2")
+		}
+	}
+}

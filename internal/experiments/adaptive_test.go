@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+func TestAdaptivePolicy(t *testing.T) {
+	s := smallSetup(t)
+	// Block-bunch is already ideal for the ring: the adaptive runtime must
+	// decline the reordered communicator (or be indifferent) everywhere.
+	layout := topology.MustLayout(s.Machine.Cluster, s.P, topology.BlockBunch)
+	d, err := s.distancesForLayout(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.RMH(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := AdaptivePolicy(s, layout, m, core.Ring, sched.InitComm, s.Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(s.Sizes) {
+		t.Fatalf("got %d decisions", len(dec))
+	}
+	for _, dc := range dec {
+		if dc.UseReordered && dc.Reordered >= dc.Default {
+			t.Errorf("%dB: inconsistent decision %+v", dc.Bytes, dc)
+		}
+	}
+
+	// Cyclic is terrible for the ring: the policy must adopt the reordered
+	// communicator for large messages.
+	layout = topology.MustLayout(s.Machine.Cluster, s.P, topology.CyclicBunch)
+	d, err = s.distancesForLayout(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = core.RMH(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err = AdaptivePolicy(s, layout, m, core.Ring, sched.InitComm, []int{256 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec[0].UseReordered {
+		t.Errorf("adaptive policy rejected a clear win: %+v", dec[0])
+	}
+}
+
+func TestAdaptivePolicyErrors(t *testing.T) {
+	s := smallSetup(t)
+	layout := topology.MustLayout(s.Machine.Cluster, s.P, topology.BlockBunch)
+	if _, err := AdaptivePolicy(s, layout, core.Identity(s.P), core.Ring, sched.InitComm, nil); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := AdaptivePolicy(s, layout, core.Identity(s.P), core.Pattern(99), sched.InitComm, []int{4}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}

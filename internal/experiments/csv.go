@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// PanelsCSV writes improvement series as CSV with the columns
+// panel,variant,bytes,improvement_percent — the machine-readable form of
+// Figs. 3 and 4.
+func PanelsCSV(w io.Writer, panels []RenderPanel) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"panel", "variant", "bytes", "improvement_percent"}); err != nil {
+		return err
+	}
+	for _, p := range panels {
+		names := make([]string, 0, len(p.Series))
+		for name := range p.Series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, pt := range p.Series[name] {
+				rec := []string{
+					p.Title, name,
+					strconv.Itoa(pt.Bytes),
+					strconv.FormatFloat(pt.Improvement, 'f', 4, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// AppCSV writes application-study results as CSV with the columns
+// panel,variant,normalized_time — the machine-readable form of Figs. 5/6.
+func AppCSV(w io.Writer, panels []struct {
+	Title   string
+	Results []AppResult
+}) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"panel", "variant", "normalized_time"}); err != nil {
+		return err
+	}
+	for _, p := range panels {
+		for _, r := range p.Results {
+			rec := []string{p.Title, r.Variant, strconv.FormatFloat(r.Normalized, 'f', 6, 64)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// OverheadsCSV writes the Fig. 7 overhead rows as CSV with second-valued
+// columns.
+func OverheadsCSV(w io.Writer, rows []OverheadRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"procs", "discovery_s", "heuristic_s", "scotch_s"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Procs),
+			fmt.Sprintf("%.6f", r.Discovery.Seconds()),
+			fmt.Sprintf("%.6f", r.Heuristic.Seconds()),
+			fmt.Sprintf("%.6f", r.Scotch.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPanelsCSV(t *testing.T) {
+	panels := []RenderPanel{{
+		Title: "block-bunch",
+		Series: map[string][]Point{
+			"Hrstc+initComm": {{Bytes: 4, Improvement: 12.5}, {Bytes: 8, Improvement: -3}},
+			"Scotch+endShfl": {{Bytes: 4, Improvement: 0}},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := PanelsCSV(&buf, panels); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 3 points
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0][0] != "panel" || recs[1][1] != "Hrstc+initComm" || recs[1][2] != "4" {
+		t.Errorf("unexpected records: %v", recs)
+	}
+	// Series are emitted in sorted name order.
+	if recs[3][1] != "Scotch+endShfl" {
+		t.Errorf("order wrong: %v", recs)
+	}
+}
+
+func TestAppCSV(t *testing.T) {
+	panels := []struct {
+		Title   string
+		Results []AppResult
+	}{{"cyclic-bunch", []AppResult{{Variant: "Hrstc", Normalized: 0.527}}}}
+	var buf bytes.Buffer
+	if err := AppCSV(&buf, panels); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cyclic-bunch,Hrstc,0.527000") {
+		t.Errorf("got:\n%s", out)
+	}
+}
+
+func TestOverheadsCSV(t *testing.T) {
+	rows := []OverheadRow{{Procs: 1024, Discovery: 856 * time.Millisecond, Heuristic: time.Millisecond, Scotch: 16 * time.Millisecond}}
+	var buf bytes.Buffer
+	if err := OverheadsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1024,0.856000,0.001000,0.016000") {
+		t.Errorf("got:\n%s", out)
+	}
+}

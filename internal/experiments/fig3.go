@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/osu"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Point is one (message size, improvement %) sample of a series.
+type Point struct {
+	Bytes       int
+	Improvement float64 // percent over the default mapping; negative = worse
+}
+
+// Variant names one plotted curve: which mapper computed the reordering and
+// which order-preservation mechanism paid for it.
+type Variant struct {
+	Mapper Mapper
+	Order  sched.OrderMode
+}
+
+// String implements fmt.Stringer, matching the paper's legend style
+// ("Hrstc+initComm").
+func (v Variant) String() string { return v.Mapper.String() + "+" + v.Order.String() }
+
+// Fig3Variants lists the four curves of each Fig. 3 panel.
+var Fig3Variants = []Variant{
+	{MapperHeuristic, sched.InitComm},
+	{MapperHeuristic, sched.EndShuffle},
+	{MapperScotch, sched.InitComm},
+	{MapperScotch, sched.EndShuffle},
+}
+
+// Panel is one sub-figure: an initial layout with one improvement series per
+// variant.
+type Panel struct {
+	Layout topology.LayoutKind
+	Series map[string][]Point
+}
+
+// Fig3 reproduces paper Fig. 3: micro-benchmark improvement of
+// non-hierarchical topology-aware allgather under the four initial mappings.
+// The underlying algorithm follows the MVAPICH selection the paper
+// describes: recursive doubling up to 1 KB, the ring beyond.
+func Fig3(s *Setup) ([]Panel, error) {
+	var out []Panel
+	for _, kind := range topology.AllLayouts {
+		panel, err := s.fig3Panel(kind)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %v: %w", kind, err)
+		}
+		out = append(out, panel)
+	}
+	return out, nil
+}
+
+// fig3Panel computes one layout's series.
+func (s *Setup) fig3Panel(kind topology.LayoutKind) (Panel, error) {
+	layout, err := topology.Layout(s.Machine.Cluster, s.P, kind)
+	if err != nil {
+		return Panel{}, err
+	}
+	d, err := s.distancesForLayout(layout)
+	if err != nil {
+		return Panel{}, err
+	}
+
+	// Schedules and mappings per pattern, computed once per panel.
+	scheds := map[core.Pattern]*sched.Schedule{}
+	if s.P&(s.P-1) == 0 {
+		if scheds[core.RecursiveDoubling], err = sched.RecursiveDoubling(s.P); err != nil {
+			return Panel{}, err
+		}
+	}
+	if scheds[core.Ring], err = sched.Ring(s.P); err != nil {
+		return Panel{}, err
+	}
+
+	mappings := map[Mapper]map[core.Pattern]core.Mapping{}
+	for _, mp := range []Mapper{MapperHeuristic, MapperScotch} {
+		mappings[mp] = map[core.Pattern]core.Mapping{}
+		for pat := range scheds {
+			m, err := mappingFor(mp, pat, d)
+			if err != nil {
+				return Panel{}, err
+			}
+			mappings[mp][pat] = m
+		}
+	}
+
+	panel := Panel{Layout: kind, Series: map[string][]Point{}}
+	for _, size := range s.Sizes {
+		pat := patternForSize(s.P, size)
+		schedule, ok := scheds[pat]
+		if !ok {
+			return Panel{}, fmt.Errorf("no schedule for pattern %v", pat)
+		}
+		defTime, err := s.Machine.Price(schedule, layout, size)
+		if err != nil {
+			return Panel{}, err
+		}
+		for _, v := range Fig3Variants {
+			m := mappings[v.Mapper][pat]
+			reordered, err := s.priceReordered(schedule, layout, m, v.Order, size)
+			if err != nil {
+				return Panel{}, err
+			}
+			panel.Series[v.String()] = append(panel.Series[v.String()],
+				Point{Bytes: size, Improvement: osu.Improvement(defTime, reordered)})
+		}
+	}
+	return panel, nil
+}
+
+// patternForSize mirrors the MVAPICH algorithm selection of the paper's
+// testbed (Section VI-A1): recursive doubling for messages up to 1 KB on
+// power-of-two communicators, ring beyond (and for non-power-of-two counts,
+// where the paper's recursive doubling does not apply).
+func patternForSize(p, size int) core.Pattern {
+	if size <= collective.RingThresholdBytes && p&(p-1) == 0 {
+		return core.RecursiveDoubling
+	}
+	return core.Ring
+}
+
+// priceReordered prices a schedule under mapping m with the given order
+// mechanism attached.
+func (s *Setup) priceReordered(base *sched.Schedule, layout []int, m core.Mapping, order sched.OrderMode, size int) (float64, error) {
+	eff, err := m.Apply(layout)
+	if err != nil {
+		return 0, err
+	}
+	withOrder, err := sched.WithOrderPreservation(base, m, order)
+	if err != nil {
+		return 0, err
+	}
+	return s.Machine.Price(withOrder, eff, size)
+}

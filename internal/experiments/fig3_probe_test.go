@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/osu"
+)
+
+// TestFig3Probe prints the Fig. 3 series at full scale when run with -v;
+// used to eyeball model calibration during development and as a smoke test.
+func TestFig3Probe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale probe")
+	}
+	s, err := NewSetup(4096, osu.DefaultSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	panels, err := Fig3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range panels {
+		t.Logf("=== %v ===", p.Layout)
+		for _, v := range Fig3Variants {
+			pts := p.Series[v.String()]
+			row := ""
+			for _, pt := range pts {
+				row += sprintPct(pt.Bytes, pt.Improvement)
+			}
+			t.Logf("%-16s %s", v.String(), row)
+		}
+	}
+}
+
+func sprintPct(bytes int, pct float64) string {
+	unit := "B"
+	v := bytes
+	if v >= 1024 {
+		v, unit = v/1024, "K"
+	}
+	return "  " + itoa(v) + unit + ":" + fmtPct(pct)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func fmtPct(p float64) string {
+	neg := p < 0
+	if neg {
+		p = -p
+	}
+	v := int(p + 0.5)
+	s := itoa(v)
+	if neg {
+		s = "-" + s
+	}
+	return s
+}

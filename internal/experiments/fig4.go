@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/osu"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Fig4Panel is one sub-figure of the hierarchical study: a (layout, intra
+// kind) combination with one improvement series per variant.
+type Fig4Panel struct {
+	Layout topology.LayoutKind
+	Intra  sched.IntraKind
+	Series map[string][]Point
+}
+
+// Fig4 reproduces paper Fig. 4: micro-benchmark improvement of hierarchical
+// topology-aware allgather under block-bunch and block-scatter initial
+// mappings with non-linear and linear intra-node phases. (The paper notes
+// hierarchical allgather is not supported with cyclic mappings.)
+func Fig4(s *Setup) ([]Fig4Panel, error) {
+	var out []Fig4Panel
+	for _, intra := range []sched.IntraKind{sched.NonLinear, sched.Linear} {
+		for _, kind := range []topology.LayoutKind{topology.BlockBunch, topology.BlockScatter} {
+			p, err := s.fig4Panel(kind, intra)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %v/%v: %w", kind, intra, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// hierPricer prices the three hierarchical phases separately so that each
+// phase can run under its own rank reordering, mirroring the paper's
+// per-pattern reordered communicators.
+type hierPricer struct {
+	s      *Setup
+	layout []int
+	groups [][]int
+	k, g   int
+	intra  sched.IntraKind
+
+	gatherSched *sched.Schedule
+	bcastSched  *sched.Schedule
+	interScheds map[core.Pattern]*sched.Schedule
+	leaderCores []int
+
+	// Phase mappings per mapper (identity for MapperNone). Intra mappings
+	// are per node.
+	gatherMaps map[Mapper][]core.Mapping
+	bcastMaps  map[Mapper][]core.Mapping
+	leaderMaps map[Mapper]map[core.Pattern]core.Mapping
+}
+
+func (s *Setup) newHierPricer(kind topology.LayoutKind, intra sched.IntraKind) (*hierPricer, error) {
+	layout, err := topology.Layout(s.Machine.Cluster, s.P, kind)
+	if err != nil {
+		return nil, err
+	}
+	groups := sched.Groups(layout, s.Machine.Cluster.NodeOf)
+	h := &hierPricer{
+		s: s, layout: layout, groups: groups,
+		k: len(groups[0]), g: len(groups), intra: intra,
+	}
+	if h.gatherSched, err = sched.IntraGather(groups, intra); err != nil {
+		return nil, err
+	}
+	if h.bcastSched, err = sched.IntraBroadcast(groups, intra); err != nil {
+		return nil, err
+	}
+	h.interScheds = map[core.Pattern]*sched.Schedule{}
+	if h.g&(h.g-1) == 0 {
+		if h.interScheds[core.RecursiveDoubling], err = sched.RecursiveDoubling(h.g); err != nil {
+			return nil, err
+		}
+	}
+	if h.interScheds[core.Ring], err = sched.Ring(h.g); err != nil {
+		return nil, err
+	}
+	h.leaderCores = make([]int, h.g)
+	for gi, grp := range groups {
+		h.leaderCores[gi] = layout[grp[0]]
+	}
+
+	// Mappings.
+	h.gatherMaps = map[Mapper][]core.Mapping{}
+	h.bcastMaps = map[Mapper][]core.Mapping{}
+	h.leaderMaps = map[Mapper]map[core.Pattern]core.Mapping{}
+	for _, mp := range []Mapper{MapperNone, MapperHeuristic, MapperScotch} {
+		if err := h.computeMappings(mp); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// computeMappings fills the phase mappings for one mapper.
+func (h *hierPricer) computeMappings(mp Mapper) error {
+	gm := make([]core.Mapping, h.g)
+	bm := make([]core.Mapping, h.g)
+	for gi, grp := range h.groups {
+		if mp == MapperNone || h.intra == sched.Linear {
+			// Linear intra phases expose no pattern to optimise (paper
+			// Section VI-A2): identity mappings.
+			gm[gi] = core.Identity(len(grp))
+			bm[gi] = core.Identity(len(grp))
+			continue
+		}
+		cores := make([]int, len(grp))
+		for j, r := range grp {
+			cores[j] = h.layout[r]
+		}
+		d, err := topology.NewDistances(h.s.Machine.Cluster, cores)
+		if err != nil {
+			return err
+		}
+		if gm[gi], err = mappingFor(mp, core.BinomialGather, d); err != nil {
+			return err
+		}
+		if bm[gi], err = mappingFor(mp, core.BinomialBroadcast, d); err != nil {
+			return err
+		}
+	}
+	h.gatherMaps[mp] = gm
+	h.bcastMaps[mp] = bm
+
+	lm := map[core.Pattern]core.Mapping{}
+	ld, err := topology.NewDistances(h.s.Machine.Cluster, h.leaderCores)
+	if err != nil {
+		return err
+	}
+	for pat := range h.interScheds {
+		if mp == MapperNone {
+			lm[pat] = core.Identity(h.g)
+			continue
+		}
+		if lm[pat], err = mappingFor(mp, pat, ld); err != nil {
+			return err
+		}
+	}
+	h.leaderMaps[mp] = lm
+	return nil
+}
+
+// intraEffLayout composes per-node mappings into a global effective layout.
+func (h *hierPricer) intraEffLayout(maps []core.Mapping) []int {
+	eff := make([]int, len(h.layout))
+	copy(eff, h.layout)
+	for gi, grp := range h.groups {
+		m := maps[gi]
+		for jNew, jOld := range m {
+			eff[grp[jNew]] = h.layout[grp[jOld]]
+		}
+	}
+	return eff
+}
+
+// needsOrderFix reports whether the reordered configuration must pay an
+// order-preservation cost: non-linear intra phases (the binomial gather
+// permutes node blocks) and recursive-doubling leader phases do; a purely
+// linear+ring composition resolves order in place.
+func (h *hierPricer) needsOrderFix(interPat core.Pattern) bool {
+	return h.intra == sched.NonLinear || interPat == core.RecursiveDoubling
+}
+
+// compositeMapping builds the global output permutation implied by the
+// gather-phase and leader-phase mappings, for pricing the initComm fix.
+func (h *hierPricer) compositeMapping(gatherMaps []core.Mapping, leaderMap core.Mapping) core.Mapping {
+	m := make(core.Mapping, h.s.P)
+	for gNew := 0; gNew < h.g; gNew++ {
+		gOld := leaderMap[gNew]
+		lm := gatherMaps[gOld]
+		for jNew := 0; jNew < h.k; jNew++ {
+			m[gNew*h.k+jNew] = h.groups[gOld][lm[jNew]]
+		}
+	}
+	return m
+}
+
+// price returns the modelled hierarchical allgather time for one mapper and
+// order mode at message size m bytes.
+func (h *hierPricer) price(mp Mapper, order sched.OrderMode, msgBytes int) (float64, error) {
+	interPat := patternForSize(h.g, msgBytes)
+	interSched, ok := h.interScheds[interPat]
+	if !ok {
+		return 0, fmt.Errorf("no inter schedule for %v", interPat)
+	}
+
+	t1, err := h.s.Machine.Price(h.gatherSched, h.intraEffLayout(h.gatherMaps[mp]), msgBytes)
+	if err != nil {
+		return 0, err
+	}
+	leaderEff := make([]int, h.g)
+	lm := h.leaderMaps[mp][interPat]
+	for gNew := range leaderEff {
+		leaderEff[gNew] = h.leaderCores[lm[gNew]]
+	}
+	t2, err := h.s.Machine.Price(interSched, leaderEff, h.k*msgBytes)
+	if err != nil {
+		return 0, err
+	}
+	t3, err := h.s.Machine.Price(h.bcastSched, h.intraEffLayout(h.bcastMaps[mp]), msgBytes)
+	if err != nil {
+		return 0, err
+	}
+	total := t1 + t2 + t3
+
+	if mp != MapperNone && h.needsOrderFix(interPat) {
+		comp := h.compositeMapping(h.gatherMaps[mp], lm)
+		if !comp.IsIdentity() {
+			switch order {
+			case sched.InitComm:
+				eff, err := comp.Apply(h.layout)
+				if err != nil {
+					return 0, err
+				}
+				fix, err := h.s.Machine.Price(sched.InitCommSchedule(comp), eff, msgBytes)
+				if err != nil {
+					return 0, err
+				}
+				total += fix
+			case sched.EndShuffle:
+				fix, err := h.s.Machine.Price(sched.EndShuffleSchedule(h.s.P), h.layout, msgBytes)
+				if err != nil {
+					return 0, err
+				}
+				total += fix
+			}
+		}
+	}
+	return total, nil
+}
+
+// fig4Panel computes one (layout, intra) panel.
+func (s *Setup) fig4Panel(kind topology.LayoutKind, intra sched.IntraKind) (Fig4Panel, error) {
+	h, err := s.newHierPricer(kind, intra)
+	if err != nil {
+		return Fig4Panel{}, err
+	}
+	panel := Fig4Panel{Layout: kind, Intra: intra, Series: map[string][]Point{}}
+	for _, size := range s.Sizes {
+		def, err := h.price(MapperNone, sched.NoOrderFix, size)
+		if err != nil {
+			return Fig4Panel{}, err
+		}
+		for _, v := range Fig3Variants {
+			re, err := h.price(v.Mapper, v.Order, size)
+			if err != nil {
+				return Fig4Panel{}, err
+			}
+			suffix := "-NL"
+			if intra == sched.Linear {
+				suffix = "-L"
+			}
+			name := v.Mapper.String() + suffix + "+" + v.Order.String()
+			panel.Series[name] = append(panel.Series[name],
+				Point{Bytes: size, Improvement: osu.Improvement(def, re)})
+		}
+	}
+	return panel, nil
+}

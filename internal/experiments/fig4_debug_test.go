@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// TestFig4PhaseBreakdown prints per-phase costs for debugging calibration.
+func TestFig4PhaseBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale probe")
+	}
+	s, err := NewSetup(4096, []int{2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.newHierPricer(topology.BlockScatter, sched.NonLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 2048
+	for _, mp := range []Mapper{MapperNone, MapperHeuristic} {
+		t1, err := s.Machine.Price(h.gatherSched, h.intraEffLayout(h.gatherMaps[mp]), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interPat := patternForSize(h.g, size)
+		lm := h.leaderMaps[mp][interPat]
+		leaderEff := make([]int, h.g)
+		for gNew := range leaderEff {
+			leaderEff[gNew] = h.leaderCores[lm[gNew]]
+		}
+		t2, err := s.Machine.Price(h.interScheds[interPat], leaderEff, h.k*size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t3, err := s.Machine.Price(h.bcastSched, h.intraEffLayout(h.bcastMaps[mp]), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v: t1=%.3gms t2=%.3gms t3=%.3gms interPat=%v leaderIdentity=%v",
+			mp, t1*1e3, t2*1e3, t3*1e3, interPat, lm.IsIdentity())
+		if mp == MapperHeuristic {
+			comp := h.compositeMapping(h.gatherMaps[mp], lm)
+			eff, _ := comp.Apply(h.layout)
+			fix, err := s.Machine.Price(sched.InitCommSchedule(comp), eff, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("  initComm fix=%.3gms compIdentity=%v", fix*1e3, comp.IsIdentity())
+			gm := h.gatherMaps[mp][0]
+			t.Logf("  node0 gather map=%v bcast map=%v", gm, h.bcastMaps[mp][0])
+		}
+	}
+	_ = core.Identity(1)
+}

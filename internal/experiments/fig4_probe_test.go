@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/osu"
+)
+
+// TestFig4Probe prints the Fig. 4 series at full scale with -v.
+func TestFig4Probe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale probe")
+	}
+	s, err := NewSetup(4096, osu.DefaultSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	panels, err := Fig4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range panels {
+		t.Logf("=== %v, %v ===", p.Layout, p.Intra)
+		for name, pts := range p.Series {
+			row := ""
+			for _, pt := range pts {
+				row += sprintPct(pt.Bytes, pt.Improvement)
+			}
+			t.Logf("%-22s %s", name, row)
+		}
+	}
+}

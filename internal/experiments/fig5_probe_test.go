@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/app"
+)
+
+// TestFig5And6Probe prints the application-study results with -v.
+func TestFig5And6Probe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale probe")
+	}
+	cfg := app.DefaultConfig()
+	s, err := NewSetup(cfg.Procs, []int{cfg.MsgBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, err := Fig5(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range p5 {
+		t.Logf("fig5 %-15v %v", p.Layout, p.Results)
+	}
+	p6, err := Fig6(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range p6 {
+		t.Logf("fig6 %-15v %-10v %v", p.Layout, p.Intra, p.Results)
+	}
+	rows, err := Fig7(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("fig7 p=%d discovery=%v heuristic=%v scotch=%v", r.Procs, r.Discovery, r.Heuristic, r.Scotch)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderPanel is the presentation form of one sub-figure.
+type RenderPanel struct {
+	Title  string
+	Series map[string][]Point
+}
+
+// humanBytes formats a message size the way the paper's axes do.
+func humanBytes(b int) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dK", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// RenderPanels renders improvement series as fixed-width text tables, one
+// table per panel, with message sizes as columns — the textual equivalent of
+// the paper's bar groups.
+func RenderPanels(title string, panels []RenderPanel) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for _, p := range panels {
+		fmt.Fprintf(&sb, "\n[%s]  (improvement %% over default mapping)\n", p.Title)
+		names := make([]string, 0, len(p.Series))
+		for name := range p.Series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			continue
+		}
+		// Header from the first series' sizes.
+		fmt.Fprintf(&sb, "%-22s", "variant")
+		for _, pt := range p.Series[names[0]] {
+			fmt.Fprintf(&sb, "%8s", humanBytes(pt.Bytes))
+		}
+		sb.WriteByte('\n')
+		for _, name := range names {
+			fmt.Fprintf(&sb, "%-22s", name)
+			for _, pt := range p.Series[name] {
+				fmt.Fprintf(&sb, "%8.1f", pt.Improvement)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// RenderApp renders the application-study results (normalised execution
+// times, default = 1.000).
+func RenderApp(title string, panels []struct {
+	Title   string
+	Results []AppResult
+}) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for _, p := range panels {
+		fmt.Fprintf(&sb, "\n[%s]  (normalized execution time, default = 1.000)\n", p.Title)
+		for _, r := range p.Results {
+			fmt.Fprintf(&sb, "  %-12s %.3f\n", r.Variant, r.Normalized)
+		}
+	}
+	return sb.String()
+}
+
+// RenderOverheads renders the Fig. 7 overhead table.
+func RenderOverheads(rows []OverheadRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: rank-reordering overheads\n")
+	sb.WriteString("===================================\n\n")
+	fmt.Fprintf(&sb, "%8s %18s %18s %18s\n", "procs", "distance extract", "Heuristic map", "Scotch map")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8d %18s %18s %18s\n",
+			r.Procs, fmtDur(r.Discovery), fmtDur(r.Heuristic), fmtDur(r.Scotch))
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string { return d.Round(10 * time.Microsecond).String() }
+
+// RenderSensitivity renders the model-robustness table.
+func RenderSensitivity(rows []SensitivityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Sensitivity: headline improvements under perturbed cost models\n")
+	sb.WriteString("==============================================================\n\n")
+	fmt.Fprintf(&sb, "%-16s %6s %14s %14s %14s\n",
+		"parameter", "scale", "cyclicRing64K", "idealRing64K", "blockRD512B")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %6.2g %13.1f%% %13.1f%% %13.1f%%\n",
+			r.Param, r.Scale, r.CyclicRing, r.IdealRing, r.BlockRD)
+	}
+	return sb.String()
+}

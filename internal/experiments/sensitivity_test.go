@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestSensitivitySignStability perturbs every cost-model constant by 2x in
+// both directions and asserts that the reproduction's headline conclusions
+// keep their signs: the cyclic ring repair stays large, the ideal layout is
+// never degraded, and the small-message recursive-doubling repair stays
+// positive.
+func TestSensitivitySignStability(t *testing.T) {
+	rows, err := Sensitivity(256, []float64{0.5, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 { // 7 parameters x 2 scales
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CyclicRing < 25 {
+			t.Errorf("%s x%g: cyclic ring repair collapsed to %.1f%%", r.Param, r.Scale, r.CyclicRing)
+		}
+		if r.IdealRing < -1 || r.IdealRing > 1 {
+			t.Errorf("%s x%g: ideal ring no longer ~0: %.2f%%", r.Param, r.Scale, r.IdealRing)
+		}
+		if r.BlockRD < 20 {
+			t.Errorf("%s x%g: recursive-doubling repair collapsed to %.1f%%", r.Param, r.Scale, r.BlockRD)
+		}
+	}
+}
+
+func TestSensitivityErrors(t *testing.T) {
+	if _, err := Sensitivity(0, []float64{1}); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := Sensitivity(16, nil); err == nil {
+		t.Error("no scales accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package experiments defines and runs the paper's evaluation: one
+// self-contained experiment per figure of Section VI, each mapping paper
+// parameters (4096-process micro-benchmarks on the GPC model, the
+// 1024-process application study, the overhead analysis) onto the
+// reproduction's substrates and returning the same rows and series the
+// paper plots. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/patterns"
+	"repro/internal/scotch"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Mapper selects who computes the rank reordering.
+type Mapper uint8
+
+const (
+	// MapperHeuristic uses the paper's fine-tuned heuristics (Hrstc).
+	MapperHeuristic Mapper = iota
+	// MapperScotch uses the general-purpose graph-mapping baseline.
+	MapperScotch
+	// MapperNone keeps the initial layout (the MVAPICH default the figures
+	// normalise against).
+	MapperNone
+)
+
+// String implements fmt.Stringer.
+func (m Mapper) String() string {
+	switch m {
+	case MapperHeuristic:
+		return "Hrstc"
+	case MapperScotch:
+		return "Scotch"
+	case MapperNone:
+		return "default"
+	default:
+		return fmt.Sprintf("Mapper(%d)", uint8(m))
+	}
+}
+
+// Setup carries the shared fixtures of all experiments.
+type Setup struct {
+	Machine *simnet.Machine
+	// P is the micro-benchmark process count (paper: 4096).
+	P int
+	// Sizes is the message-size sweep (paper: 4 B – 256 KB).
+	Sizes []int
+}
+
+// NewSetup builds the paper's evaluation environment: the GPC cluster model
+// with default cost parameters.
+func NewSetup(p int, sizes []int) (*Setup, error) {
+	m, err := simnet.NewMachine(topology.GPC(), simnet.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return NewSetupWithMachine(m, p, sizes)
+}
+
+// NewSetupWithMachine builds an evaluation environment over an arbitrary
+// modelled machine — used to re-run the paper's experiments on other
+// interconnects (e.g. the torus extension).
+func NewSetupWithMachine(m *simnet.Machine, p int, sizes []int) (*Setup, error) {
+	if m == nil {
+		return nil, fmt.Errorf("experiments: nil machine")
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("experiments: process count must be positive")
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("experiments: empty size sweep")
+	}
+	return &Setup{Machine: m, P: p, Sizes: sizes}, nil
+}
+
+// mappingFor computes the reordering of pattern pat over the cores described
+// by d using the requested mapper.
+func mappingFor(m Mapper, pat core.Pattern, d *topology.Distances) (core.Mapping, error) {
+	switch m {
+	case MapperNone:
+		return core.Identity(d.N()), nil
+	case MapperHeuristic:
+		h := pat.Heuristic()
+		if h == nil {
+			return nil, fmt.Errorf("experiments: no heuristic for pattern %v", pat)
+		}
+		return h(d, nil)
+	case MapperScotch:
+		g, err := patterns.Build(pat, d.N())
+		if err != nil {
+			return nil, err
+		}
+		return scotch.Map(g, d, nil)
+	default:
+		return nil, fmt.Errorf("experiments: unknown mapper %v", m)
+	}
+}
+
+// distancesForLayout builds the slot distance matrix for a layout.
+func (s *Setup) distancesForLayout(layout []int) (*topology.Distances, error) {
+	return topology.NewDistances(s.Machine.Cluster, layout)
+}

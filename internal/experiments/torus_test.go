@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// TestFig3ShapeHoldsOnTorus re-runs the Fig. 3 experiment on a torus-backed
+// machine: the paper's orderings (no degradation of ideal layouts, large
+// cyclic repairs) are interconnect-independent because the heuristics only
+// consume distances.
+func TestFig3ShapeHoldsOnTorus(t *testing.T) {
+	cluster, err := topology.NewCluster(32, 2, 4, topology.NewTorus3D(4, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := simnet.NewMachine(cluster, simnet.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSetupWithMachine(m, 256, []int{512, 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panels, err := Fig3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range panels {
+		pts := p.Series["Hrstc+initComm"]
+		switch p.Layout {
+		case topology.BlockBunch:
+			// Ideal for the ring: the large-message point must be ~0.
+			if last := pts[len(pts)-1]; last.Improvement < -0.5 {
+				t.Errorf("torus block-bunch degraded: %+v", last)
+			}
+		case topology.CyclicBunch, topology.CyclicScatter:
+			if last := pts[len(pts)-1]; last.Improvement < 30 {
+				t.Errorf("torus %v repair too small: %+v", p.Layout, last)
+			}
+		}
+	}
+}
+
+func TestNewSetupWithMachineErrors(t *testing.T) {
+	if _, err := NewSetupWithMachine(nil, 8, []int{4}); err == nil {
+		t.Error("nil machine accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package hwdisc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestLoadOrDiscoverCaches(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "distances.bin")
+	c := topology.GPC()
+	layout := topology.MustLayout(c, 64, topology.BlockBunch)
+	cm := DefaultCostModel()
+
+	first, err := LoadOrDiscover(path, c, layout, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Elapsed <= 0 {
+		t.Error("first discovery should pay the one-time cost")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache not written: %v", err)
+	}
+
+	second, err := LoadOrDiscover(path, c, layout, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Elapsed != 0 {
+		t.Errorf("cached load should be free, got %v", second.Elapsed)
+	}
+	if second.Distances.N() != first.Distances.N() {
+		t.Error("cached matrix differs")
+	}
+	for i := range first.Distances.D {
+		if second.Distances.D[i] != first.Distances.D[i] {
+			t.Fatal("cached entries differ")
+		}
+	}
+}
+
+func TestLoadOrDiscoverRejectsMismatchedCache(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "distances.bin")
+	c := topology.GPC()
+	cm := DefaultCostModel()
+
+	// Cache for one layout...
+	layoutA := topology.MustLayout(c, 64, topology.BlockBunch)
+	if _, err := LoadOrDiscover(path, c, layoutA, cm); err != nil {
+		t.Fatal(err)
+	}
+	// ...must not satisfy a different one.
+	layoutB := topology.MustLayout(c, 64, topology.CyclicBunch)
+	res, err := LoadOrDiscover(path, c, layoutB, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed == 0 {
+		t.Error("mismatched cache was trusted")
+	}
+	if res.Distances.Cores[1] != layoutB[1] {
+		t.Error("rediscovered matrix does not match the new layout")
+	}
+}
+
+func TestLoadOrDiscoverSurvivesCorruptCache(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "distances.bin")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := topology.SingleNode(2, 4)
+	layout := topology.MustLayout(c, 8, topology.BlockBunch)
+	res, err := LoadOrDiscover(path, c, layout, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed == 0 {
+		t.Error("garbage cache was trusted")
+	}
+}

@@ -1,0 +1,65 @@
+package hwdisc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func TestDiscoverProducesValidDistances(t *testing.T) {
+	c := topology.GPC()
+	layout := topology.MustLayout(c, 256, topology.BlockBunch)
+	res, err := Discover(c, layout, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Distances.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Distances.N() != 256 {
+		t.Errorf("N = %d", res.Distances.N())
+	}
+	if res.Elapsed <= 0 {
+		t.Error("non-positive elapsed")
+	}
+}
+
+func TestDiscoverLinearScaling(t *testing.T) {
+	// Fig. 7a: cost scales linearly with process count; at 4096 it is
+	// around 3.3 s.
+	c := topology.GPC()
+	cm := DefaultCostModel()
+	times := map[int]time.Duration{}
+	for _, p := range []int{1024, 2048, 4096} {
+		res, err := Discover(c, topology.MustLayout(c, p, topology.BlockBunch), cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[p] = res.Elapsed
+	}
+	if times[4096] < 3*time.Second || times[4096] > 4*time.Second {
+		t.Errorf("4096-rank discovery = %v, want ~3.3s", times[4096])
+	}
+	// Doubling p should roughly double the cost (linear scaling).
+	r1 := float64(times[2048]) / float64(times[1024])
+	r2 := float64(times[4096]) / float64(times[2048])
+	for _, r := range []float64{r1, r2} {
+		if r < 1.6 || r > 2.4 {
+			t.Errorf("scaling ratio %g not ~2 (linear)", r)
+		}
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	c := topology.SingleNode(2, 2)
+	if _, err := Discover(nil, []int{0}, DefaultCostModel()); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := Discover(c, nil, DefaultCostModel()); err == nil {
+		t.Error("empty layout accepted")
+	}
+	if _, err := Discover(c, []int{0, 0}, DefaultCostModel()); err == nil {
+		t.Error("duplicate layout accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package mpi
+
+// Info is an MPI_Info-style string key/value set attached to a
+// communicator. The paper (Section IV) proposes an info key to let the
+// programmer enable or disable topology-aware rank reordering per
+// communicator; package collective honours InfoTopoReorder.
+type Info map[string]string
+
+// InfoTopoReorder is the info key controlling topology-aware reordering for
+// a communicator: "false" disables it, anything else (or absence) leaves it
+// enabled.
+const InfoTopoReorder = "topo_reorder"
+
+// SetInfo attaches (or replaces) an info key on this process's view of the
+// communicator. Info is process-local state, as in MPI.
+func (c *Comm) SetInfo(key, value string) {
+	if c.info == nil {
+		c.info = Info{}
+	}
+	c.info[key] = value
+}
+
+// Info returns the value of an info key and whether it is set.
+func (c *Comm) Info(key string) (string, bool) {
+	v, ok := c.info[key]
+	return v, ok
+}
+
+// ReorderEnabled reports whether topology-aware reordering is enabled for
+// the communicator (the default when the info key is absent).
+func (c *Comm) ReorderEnabled() bool {
+	v, ok := c.Info(InfoTopoReorder)
+	return !ok || v != "false"
+}

@@ -1,0 +1,53 @@
+package mpi
+
+import "fmt"
+
+// Request represents a pending nonblocking operation. Wait blocks until the
+// operation completes and returns its payload (nil for sends).
+type Request struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Wait blocks for completion and returns the received payload (nil for a
+// send request) and the operation's error.
+func (r *Request) Wait() ([]byte, error) {
+	<-r.done
+	return r.data, r.err
+}
+
+// Isend starts a nonblocking send. The runtime's sends are buffered and
+// asynchronous already, so the request completes immediately; the operation
+// exists to keep MPI-style call sites natural and to allow future
+// flow-control without changing callers.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	r := &Request{done: make(chan struct{})}
+	r.err = c.Send(dst, tag, data)
+	close(r.done)
+	return r
+}
+
+// Irecv starts a nonblocking receive; Wait returns the payload.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.data, r.err = c.Recv(src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll waits for every request and returns the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = fmt.Errorf("mpi: request %d: %w", i, err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestIsendIrecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 3, []byte("async"))
+			_, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 3)
+		data, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(data, []byte("async")) {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvOverlap(t *testing.T) {
+	// Post receives before the matching sends exist; overlap both
+	// directions without deadlock.
+	err := Run(2, func(c *Comm) error {
+		other := 1 - c.Rank()
+		r1 := c.Irecv(other, 1)
+		r2 := c.Irecv(other, 2)
+		if err := WaitAll(c.Isend(other, 2, []byte{2}), c.Isend(other, 1, []byte{1})); err != nil {
+			return err
+		}
+		d1, err := r1.Wait()
+		if err != nil {
+			return err
+		}
+		d2, err := r2.Wait()
+		if err != nil {
+			return err
+		}
+		if d1[0] != 1 || d2[0] != 2 {
+			return fmt.Errorf("tag mixup: %v %v", d1, d2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAllPropagatesErrors(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		bad := c.Isend(9, 0, nil) // out of range
+		if err := WaitAll(nil, bad); err == nil {
+			return fmt.Errorf("error swallowed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfoKeys(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if !c.ReorderEnabled() {
+			return fmt.Errorf("reordering should default to enabled")
+		}
+		if _, ok := c.Info(InfoTopoReorder); ok {
+			return fmt.Errorf("phantom info key")
+		}
+		c.SetInfo(InfoTopoReorder, "false")
+		if c.ReorderEnabled() {
+			return fmt.Errorf("info key ignored")
+		}
+		c.SetInfo(InfoTopoReorder, "true")
+		if !c.ReorderEnabled() {
+			return fmt.Errorf("re-enable failed")
+		}
+		v, ok := c.Info(InfoTopoReorder)
+		if !ok || v != "true" {
+			return fmt.Errorf("Info() = %q, %v", v, ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		m := c.Members()
+		if len(m) != 4 {
+			return fmt.Errorf("members = %v", m)
+		}
+		m[0] = 99 // must be a copy
+		if c.Members()[0] == 99 {
+			return fmt.Errorf("Members aliases internal state")
+		}
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		sm := sub.Members()
+		if len(sm) != 2 || sm[0]%2 != c.Rank()%2 {
+			return fmt.Errorf("sub members = %v", sm)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package mpi
+
+import "sync"
+
+// Stats accumulates per-pair traffic of a world when installed with
+// WithStats: the number of messages and payload bytes sent from each world
+// rank to each other. It is safe for concurrent use and is the ground truth
+// the schedule models are cross-validated against.
+type Stats struct {
+	mu       sync.Mutex
+	messages map[[2]int]int64
+	bytes    map[[2]int]int64
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats {
+	return &Stats{
+		messages: make(map[[2]int]int64),
+		bytes:    make(map[[2]int]int64),
+	}
+}
+
+// record accumulates one delivery.
+func (s *Stats) record(src, dst, payload int) {
+	key := [2]int{src, dst}
+	s.mu.Lock()
+	s.messages[key]++
+	s.bytes[key] += int64(payload)
+	s.mu.Unlock()
+}
+
+// Messages returns the message count from src to dst.
+func (s *Stats) Messages(src, dst int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.messages[[2]int{src, dst}]
+}
+
+// Bytes returns the payload bytes sent from src to dst.
+func (s *Stats) Bytes(src, dst int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes[[2]int{src, dst}]
+}
+
+// TotalMessages returns the number of point-to-point messages in the world.
+func (s *Stats) TotalMessages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, v := range s.messages {
+		n += v
+	}
+	return n
+}
+
+// TotalBytes returns the total payload volume.
+func (s *Stats) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, v := range s.bytes {
+		n += v
+	}
+	return n
+}
+
+// PairBytes returns a copy of the per-pair byte matrix.
+func (s *Stats) PairBytes() map[[2]int]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[[2]int]int64, len(s.bytes))
+	for k, v := range s.bytes {
+		out[k] = v
+	}
+	return out
+}
+
+// WithStats installs a traffic collector on the world. Every Send delivery
+// is recorded with its world-rank endpoints and payload size.
+func WithStats(s *Stats) Option {
+	return func(w *World) { w.stats = s }
+}

@@ -1,0 +1,65 @@
+package sched
+
+import "testing"
+
+// FuzzAllgatherSchedulesVerify generates schedules for fuzzer-chosen rank
+// counts and replays them: every generated schedule must implement the
+// allgather contract.
+func FuzzAllgatherSchedulesVerify(f *testing.F) {
+	f.Add(uint8(8), uint8(0))
+	f.Add(uint8(13), uint8(1))
+	f.Add(uint8(1), uint8(2))
+	f.Add(uint8(100), uint8(1))
+	f.Fuzz(func(t *testing.T, pRaw, algRaw uint8) {
+		p := int(pRaw)%128 + 1
+		var s *Schedule
+		var err error
+		switch algRaw % 3 {
+		case 0:
+			q := 1
+			for q*2 <= p {
+				q *= 2
+			}
+			s, err = RecursiveDoubling(q)
+		case 1:
+			s, err = Ring(p)
+		default:
+			s, err = Bruck(p)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.VerifyAllgather(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzHierarchicalVerify builds hierarchical compositions from fuzzer-chosen
+// shapes and replays them.
+func FuzzHierarchicalVerify(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(0), uint8(0))
+	f.Add(uint8(2), uint8(8), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, gRaw, kRaw, intraRaw, interRaw uint8) {
+		g := int(gRaw)%8 + 1
+		k := int(kRaw)%8 + 1
+		intra := IntraKind(intraRaw % 2)
+		inter := InterKind(interRaw % 2)
+		if inter == InterRecursiveDoubling && g&(g-1) != 0 {
+			return // requires power-of-two node count
+		}
+		groups := make([][]int, g)
+		for i := 0; i < g; i++ {
+			for j := 0; j < k; j++ {
+				groups[i] = append(groups[i], i*k+j)
+			}
+		}
+		s, err := Hierarchical(groups, HierarchicalConfig{Intra: intra, Inter: inter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.VerifyAllgather(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Package sched represents collective communication algorithms as static
+// schedules: sequences of stages, each a set of point-to-point transfers
+// between ranks. The allgather algorithms of the paper (recursive doubling,
+// ring, Bruck, the three-phase hierarchical composition, and the binomial /
+// linear gather and broadcast building blocks) are all data-independent, so
+// their complete communication structure is known up front.
+//
+// Schedules serve two masters with a single source of truth:
+//
+//   - the contention-aware cost model (package simnet) prices a schedule
+//     under a given process layout and message size, and
+//   - the block-tracking verifier in this package replays a schedule to
+//     prove that it implements its collective semantics (every rank ends
+//     with every block, in order).
+//
+// Rank reordering never changes a schedule — it changes which core each
+// rank lives on. The order-preservation mechanisms of paper Section V-B
+// (extra initial communications, memory shuffling at the end) attach to a
+// schedule as a priced prologue stage or epilogue copy.
+package sched
+
+import "fmt"
+
+// Mode describes which blocks a transfer carries, for verification replay.
+type Mode uint8
+
+const (
+	// Range sends the contiguous (modulo P) block range [First, First+N).
+	Range Mode = iota
+	// All sends every block the sender currently holds. N still records
+	// the statically known block count for pricing.
+	All
+	// Latest forwards the block most recently received by the sender (its
+	// own block on the first repeat) — ring pipelining.
+	Latest
+)
+
+// Transfer is one point-to-point message of a stage. Src and Dst are ranks
+// in the collective's rank space; N is the number of per-process data blocks
+// the message carries (the byte size is N times the per-process message
+// size, fixed at pricing time).
+type Transfer struct {
+	Src, Dst int32
+	First    int32 // first block of a Range transfer
+	N        int32 // block count (pricing and Range replay)
+	Mode     Mode
+}
+
+// Stage is a set of transfers that proceed concurrently. A stage may repeat:
+// ring-style algorithms execute the same transfer structure P-1 times with
+// identical message sizes, which Repeat captures without materialising
+// millions of transfers.
+type Stage struct {
+	Transfers []Transfer
+	Repeat    int // execution count; 0 is treated as 1
+}
+
+// repeats returns the effective repeat count.
+func (s *Stage) repeats() int {
+	if s.Repeat < 1 {
+		return 1
+	}
+	return s.Repeat
+}
+
+// Schedule is a complete collective schedule over P ranks.
+type Schedule struct {
+	// Name identifies the generating algorithm, e.g. "ring".
+	Name string
+	// P is the number of ranks.
+	P int
+	// Pre holds prologue stages that are priced but not block-verified —
+	// the "extra initial communications" of Section V-B move input vectors
+	// between processes before the collective proper starts.
+	Pre []Stage
+	// Stages is the collective itself.
+	Stages []Stage
+	// PostCopyBlocks is the number of blocks every rank copies locally
+	// after the last stage: P for the memory-shuffling order fix, and the
+	// final rotation of the Bruck algorithm. Priced as local memory
+	// bandwidth, never as network traffic.
+	PostCopyBlocks int
+}
+
+// Validate checks structural sanity: ranks in range, no self-transfers,
+// positive block counts, positive repeats.
+func (s *Schedule) Validate() error {
+	if s.P <= 0 {
+		return fmt.Errorf("sched: schedule %q has nonpositive P=%d", s.Name, s.P)
+	}
+	check := func(stages []Stage, what string) error {
+		for si := range stages {
+			st := &stages[si]
+			if st.Repeat < 0 {
+				return fmt.Errorf("sched: %q %s stage %d has negative repeat", s.Name, what, si)
+			}
+			for _, tr := range st.Transfers {
+				switch {
+				case tr.Src < 0 || int(tr.Src) >= s.P || tr.Dst < 0 || int(tr.Dst) >= s.P:
+					return fmt.Errorf("sched: %q %s stage %d transfer %d->%d outside 0..%d",
+						s.Name, what, si, tr.Src, tr.Dst, s.P-1)
+				case tr.Src == tr.Dst:
+					return fmt.Errorf("sched: %q %s stage %d has self-transfer at rank %d", s.Name, what, si, tr.Src)
+				case tr.N <= 0:
+					return fmt.Errorf("sched: %q %s stage %d transfer %d->%d carries %d blocks",
+						s.Name, what, si, tr.Src, tr.Dst, tr.N)
+				case tr.Mode == Range && (tr.First < 0 || int(tr.First) >= s.P):
+					return fmt.Errorf("sched: %q %s stage %d transfer starts at block %d outside 0..%d",
+						s.Name, what, si, tr.First, s.P-1)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(s.Pre, "pre"); err != nil {
+		return err
+	}
+	return check(s.Stages, "main")
+}
+
+// NumStages returns the total number of executed stages including repeats
+// (Pre included).
+func (s *Schedule) NumStages() int {
+	n := 0
+	for i := range s.Pre {
+		n += s.Pre[i].repeats()
+	}
+	for i := range s.Stages {
+		n += s.Stages[i].repeats()
+	}
+	return n
+}
+
+// TotalBlocksMoved returns the total number of block transmissions of the
+// main schedule — the traffic volume in units of the per-process message.
+func (s *Schedule) TotalBlocksMoved() int64 {
+	var sum int64
+	for i := range s.Stages {
+		st := &s.Stages[i]
+		var per int64
+		for _, tr := range st.Transfers {
+			per += int64(tr.N)
+		}
+		sum += per * int64(st.repeats())
+	}
+	return sum
+}

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// blockSet is a bitset over block identifiers 0..P-1.
+type blockSet []uint64
+
+func newBlockSet(p int) blockSet { return make(blockSet, (p+63)/64) }
+
+func (b blockSet) add(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b blockSet) has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b blockSet) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b blockSet) union(o blockSet) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b blockSet) clone() blockSet {
+	c := make(blockSet, len(b))
+	copy(c, b)
+	return c
+}
+
+// replayState tracks per-rank block possession through a schedule.
+type replayState struct {
+	p    int
+	held []blockSet
+}
+
+func newReplay(p int, initial func(rank int) []int32) *replayState {
+	rs := &replayState{p: p, held: make([]blockSet, p)}
+	for r := 0; r < p; r++ {
+		rs.held[r] = newBlockSet(p)
+		for _, b := range initial(r) {
+			rs.held[r].add(b)
+		}
+	}
+	return rs
+}
+
+// runStage executes one repeat of a stage: all transfers read the pre-repeat
+// state and deliveries land together afterwards, modelling the concurrency
+// of a stage. stageRecv carries the pipeline state of the Latest mode across
+// the repeats of one stage: on the first repeat a rank forwards what it held
+// when the stage began; afterwards it forwards what the previous repeat
+// delivered to it.
+func (rs *replayState) runStage(st *Stage, stageRecv []blockSet) error {
+	type delivery struct {
+		dst    int32
+		blocks blockSet
+	}
+	deliveries := make([]delivery, 0, len(st.Transfers))
+	for _, tr := range st.Transfers {
+		var moved blockSet
+		switch tr.Mode {
+		case All:
+			moved = rs.held[tr.Src].clone()
+		case Range:
+			moved = newBlockSet(rs.p)
+			for k := int32(0); k < tr.N; k++ {
+				b := (tr.First + k) % int32(rs.p)
+				if !rs.held[tr.Src].has(b) {
+					return fmt.Errorf("sched: rank %d sends block %d it does not hold", tr.Src, b)
+				}
+				moved.add(b)
+			}
+		case Latest:
+			src := stageRecv[tr.Src]
+			if src == nil {
+				src = rs.held[tr.Src]
+			}
+			moved = src.clone()
+		default:
+			return fmt.Errorf("sched: unknown transfer mode %d", tr.Mode)
+		}
+		deliveries = append(deliveries, delivery{tr.Dst, moved})
+	}
+	for _, d := range deliveries {
+		rs.held[d.dst].union(d.blocks)
+		stageRecv[d.dst] = d.blocks
+	}
+	return nil
+}
+
+func (rs *replayState) run(stages []Stage) error {
+	for i := range stages {
+		st := &stages[i]
+		stageRecv := make([]blockSet, rs.p)
+		for rep := 0; rep < st.repeats(); rep++ {
+			if err := rs.runStage(st, stageRecv); err != nil {
+				return fmt.Errorf("stage %d repeat %d: %w", i, rep, err)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyAllgather replays the main stages of s from the allgather initial
+// condition (rank r holds block r) and checks that every rank ends holding
+// all P blocks. Pre stages are not replayed: they move input vectors between
+// processes before the collective's block space is defined.
+func (s *Schedule) VerifyAllgather() error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	rs := newReplay(s.P, func(r int) []int32 { return []int32{int32(r)} })
+	if err := rs.run(s.Stages); err != nil {
+		return fmt.Errorf("sched: %q: %w", s.Name, err)
+	}
+	for r := 0; r < s.P; r++ {
+		if got := rs.held[r].count(); got != s.P {
+			return fmt.Errorf("sched: %q: rank %d ends with %d of %d blocks", s.Name, r, got, s.P)
+		}
+	}
+	return nil
+}
+
+// VerifyGather replays s and checks that the root ends holding all blocks.
+func (s *Schedule) VerifyGather(root int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	rs := newReplay(s.P, func(r int) []int32 { return []int32{int32(r)} })
+	if err := rs.run(s.Stages); err != nil {
+		return fmt.Errorf("sched: %q: %w", s.Name, err)
+	}
+	if got := rs.held[root].count(); got != s.P {
+		return fmt.Errorf("sched: %q: root holds %d of %d blocks", s.Name, got, s.P)
+	}
+	return nil
+}
+
+// VerifyBroadcast replays s from the broadcast initial condition (only the
+// root holds block 0) and checks that every rank ends holding it.
+func (s *Schedule) VerifyBroadcast(root int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	rs := newReplay(s.P, func(r int) []int32 {
+		if r == root {
+			return []int32{0}
+		}
+		return nil
+	})
+	if err := rs.run(s.Stages); err != nil {
+		return fmt.Errorf("sched: %q: %w", s.Name, err)
+	}
+	for r := 0; r < s.P; r++ {
+		if !rs.held[r].has(0) {
+			return fmt.Errorf("sched: %q: rank %d never receives the broadcast", s.Name, r)
+		}
+	}
+	return nil
+}

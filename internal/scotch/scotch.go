@@ -1,0 +1,134 @@
+// Package scotch implements a general-purpose static mapping baseline in the
+// style of the Scotch library (Pellegrini & Roman, HPCN 1996): dual
+// recursive bipartitioning of a guest graph (the communication pattern) onto
+// a host architecture (the job's cores and their physical distances).
+//
+// The paper compares its fine-tuned heuristics against Scotch on both
+// mapping quality (Figs. 3–6) and overhead (Fig. 7b). This package plays
+// that role: it is deliberately a *general* mapper that knows nothing about
+// allgather — it consumes whatever weighted pattern graph package patterns
+// produces, recursively bisecting the host by physical distance and the
+// guest by weighted min-cut, and assigning the halves to each other.
+package scotch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Options tunes the mapper.
+type Options struct {
+	// Bisect configures the guest-graph refinement.
+	Bisect graph.BisectOptions
+}
+
+// Map assigns the vertices of guest (processes, indexed by rank in the
+// collective's pattern) to the slots of the host distance matrix d (cores,
+// indexed by initial rank), returning the result in the same Mapping form
+// the fine-tuned heuristics produce: M[rank] = slot.
+//
+// The guest graph and host must have the same cardinality (one process per
+// core, as in the paper's dedicated allocations).
+func Map(guest *graph.Graph, d *topology.Distances, opts *Options) (core.Mapping, error) {
+	if guest == nil || d == nil {
+		return nil, fmt.Errorf("scotch: nil guest or host")
+	}
+	n := guest.N()
+	if n != d.N() {
+		return nil, fmt.Errorf("scotch: guest has %d vertices, host %d slots", n, d.N())
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("scotch: empty mapping problem")
+	}
+	var bopt graph.BisectOptions
+	if opts != nil {
+		bopt = opts.Bisect
+	}
+	m := make(core.Mapping, n)
+	verts := make([]int, n)
+	slots := make([]int, n)
+	for i := 0; i < n; i++ {
+		verts[i], slots[i] = i, i
+	}
+	mapRec(guest, d, verts, slots, m, bopt)
+	return m, nil
+}
+
+// mapRec performs one level of dual recursive bipartitioning: split the host
+// slots into two physically cohesive halves, split the guest vertices into
+// matching-size halves of minimal cut weight, pair them up and recurse.
+func mapRec(guest *graph.Graph, d *topology.Distances, verts, slots []int, m core.Mapping, bopt graph.BisectOptions) {
+	if len(verts) != len(slots) {
+		panic("scotch: internal imbalance between guest and host halves")
+	}
+	switch len(verts) {
+	case 0:
+		return
+	case 1:
+		m[verts[0]] = slots[0]
+		return
+	}
+	h0, h1 := bisectHost(d, slots)
+	g0, g1 := graph.Bisect(guest, verts, len(h0), bopt)
+	mapRec(guest, d, g0, h0, m, bopt)
+	mapRec(guest, d, g1, h1, m, bopt)
+}
+
+// bisectHost splits a slot set into two halves that are physically cohesive:
+// it finds a pair of mutually distant slots as poles, then assigns the
+// ceil(k/2) slots closest to the first pole to the first half. Closeness to
+// a pole follows the machine hierarchy (socket < node < leaf < ...), so the
+// halves align with physical enclosures exactly as an architecture
+// decomposition would.
+func bisectHost(d *topology.Distances, slots []int) (a, b []int) {
+	k := len(slots)
+	// Poles: approximate the most distant pair with two sweeps (exact
+	// search is quadratic and unnecessary on hierarchical metrics).
+	p0 := farthestFrom(d, slots, slots[0])
+	p1 := farthestFrom(d, slots, p0)
+	_ = p1 // p1 anchors the far side implicitly: the near half excludes it.
+
+	type slotDist struct {
+		slot int
+		dist int32
+	}
+	byDist := make([]slotDist, k)
+	for i, s := range slots {
+		byDist[i] = slotDist{s, d.At(p0, s)}
+	}
+	// Deterministic selection of the sizeA closest slots to p0: sort by
+	// (distance, slot index).
+	sort.Slice(byDist, func(i, j int) bool {
+		if byDist[i].dist != byDist[j].dist {
+			return byDist[i].dist < byDist[j].dist
+		}
+		return byDist[i].slot < byDist[j].slot
+	})
+	sizeA := (k + 1) / 2
+	a = make([]int, 0, sizeA)
+	b = make([]int, 0, k-sizeA)
+	for i, sd := range byDist {
+		if i < sizeA {
+			a = append(a, sd.slot)
+		} else {
+			b = append(b, sd.slot)
+		}
+	}
+	return a, b
+}
+
+// farthestFrom returns the slot in slots with maximum distance from ref
+// (lowest index on ties).
+func farthestFrom(d *topology.Distances, slots []int, ref int) int {
+	best, bestDist := slots[0], int32(-1)
+	for _, s := range slots {
+		if dist := d.At(ref, s); dist > bestDist {
+			best, bestDist = s, dist
+		}
+	}
+	return best
+}

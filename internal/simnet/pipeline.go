@@ -1,0 +1,88 @@
+package simnet
+
+import (
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// PricePipelined prices a schedule without the global stage barrier that
+// Price assumes: each rank proceeds to its next transfer as soon as its own
+// dependencies complete, so fast chains overtake slow ones (ring pipelining,
+// staggered tree levels). Per-transfer durations still use the stage's
+// static contention loads — the same channels are busy in steady state — so
+// the difference between Price and PricePipelined isolates the barrier
+// assumption itself. It is a model ablation: the paper's conclusions should
+// not (and, per the benchmark, do not) depend on which variant prices the
+// schedules.
+//
+// The result is never larger than Price's for the same inputs.
+func (m *Machine) PricePipelined(s *sched.Schedule, layout []int, blockBytes int) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if _, err := m.Price(s, layout, blockBytes); err != nil {
+		return 0, err // reuse Price's argument validation
+	}
+	ready := make([]float64, s.P)
+	var snapshot []float64
+	for _, stages := range [][]sched.Stage{s.Pre, s.Stages} {
+		for i := range stages {
+			st := &stages[i]
+			if len(st.Transfers) == 0 {
+				continue
+			}
+			// Per-transfer durations are repeat-invariant: compute once.
+			durations, err := m.transferDurations(st, layout, blockBytes)
+			if err != nil {
+				return 0, err
+			}
+			reps := st.Repeat
+			if reps < 1 {
+				reps = 1
+			}
+			for rep := 0; rep < reps; rep++ {
+				snapshot = append(snapshot[:0], ready...)
+				for ti, tr := range st.Transfers {
+					start := snapshot[tr.Src]
+					if snapshot[tr.Dst] > start {
+						start = snapshot[tr.Dst]
+					}
+					comp := start + durations[ti]
+					if comp > ready[tr.Src] {
+						ready[tr.Src] = comp
+					}
+					if comp > ready[tr.Dst] {
+						ready[tr.Dst] = comp
+					}
+				}
+			}
+		}
+	}
+	total := 0.0
+	for _, r := range ready {
+		if r > total {
+			total = r
+		}
+	}
+	if s.PostCopyBlocks > 0 {
+		total += float64(s.PostCopyBlocks) * float64(blockBytes) / m.Params.MemCopy
+	}
+	return total, nil
+}
+
+// transferDurations prices every transfer of one stage under the stage's
+// aggregated loads.
+func (m *Machine) transferDurations(st *sched.Stage, layout []int, blockBytes int) ([]float64, error) {
+	loads := newStageLoads()
+	m.aggregateLoads(st, layout, loads)
+	durations := make([]float64, len(st.Transfers))
+	var routeBuf []topology.DirLink
+	for i := range st.Transfers {
+		t, err := m.transferTime(&st.Transfers[i], layout, blockBytes, loads, &routeBuf)
+		if err != nil {
+			return nil, err
+		}
+		durations[i] = t
+	}
+	return durations, nil
+}

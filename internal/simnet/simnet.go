@@ -1,0 +1,292 @@
+// Package simnet prices communication schedules on a modelled cluster: it
+// substitutes for the wall clock of the paper's GPC testbed, which this
+// reproduction cannot access.
+//
+// The model is a contention-aware latency/bandwidth (Hockney-style) model.
+// Every transfer is classified by the channel between its endpoint cores —
+// intra-socket shared memory, inter-socket QPI, or the InfiniBand network —
+// and costs
+//
+//	alpha(channel) + bytes * betaEffective
+//
+// where betaEffective reflects both the per-stream bandwidth of the channel
+// and the sharing of every resource the transfer crosses during its stage:
+//
+//   - each direction of each fat-tree link (trunked cables divide load),
+//   - each direction of each node's inter-socket QPI interconnect,
+//   - each socket's memory bandwidth (intra-node transfers are memcpy),
+//   - each endpoint core (a core sends one message at a time, which
+//     serialises the fan-in of linear gathers at their root).
+//
+// The time of a stage is the maximum over its transfers; the time of a
+// schedule is the sum of its stage times plus the local shuffle epilogue.
+// This first-order model deliberately ignores protocol effects
+// (eager/rendezvous switches, pipelining across stages) — the paper's
+// observed phenomena are products of channel heterogeneity and link sharing,
+// which the model captures.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Params holds the calibrated cost-model constants. All times are seconds,
+// all rates bytes/second.
+type Params struct {
+	// Latency (alpha) terms.
+	AlphaShm    float64 // same-socket shared memory
+	AlphaQPI    float64 // cross-socket, same node
+	AlphaNet    float64 // inter-node base latency
+	AlphaPerHop float64 // additional latency per network link crossed
+
+	// Per-stream bandwidths: what a single message achieves unshared.
+	StreamShm float64 // intra-socket copy bandwidth
+	StreamQPI float64 // cross-socket copy bandwidth
+	StreamNet float64 // single QDR stream
+
+	// Shared-resource capacities.
+	CapSocketMem   float64 // per-socket memory bandwidth
+	CapQPIDir      float64 // per-direction QPI capacity per node
+	CapNetPerCable float64 // per-direction capacity of one network cable
+
+	// MemCopy is the local memory-copy bandwidth used for the
+	// end-of-collective shuffles (read + write).
+	MemCopy float64
+}
+
+// DefaultParams returns constants calibrated to the paper's testbed era:
+// dual-socket Nehalem nodes (QPI ~11 GB/s per direction, ~20 GB/s per-socket
+// memory bandwidth, MPI shared-memory pipelines in the 4–5 GB/s range) and
+// QDR InfiniBand (~3.2 GB/s effective per stream and per cable).
+func DefaultParams() Params {
+	return Params{
+		AlphaShm:    0.3e-6,
+		AlphaQPI:    0.5e-6,
+		AlphaNet:    1.5e-6,
+		AlphaPerHop: 0.1e-6,
+
+		StreamShm: 4.5e9,
+		StreamQPI: 3.8e9,
+		StreamNet: 3.2e9,
+
+		CapSocketMem:   20e9,
+		CapQPIDir:      11e9,
+		CapNetPerCable: 3.2e9,
+
+		MemCopy: 4e9,
+	}
+}
+
+// Validate rejects non-physical parameters.
+func (p *Params) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"AlphaShm", p.AlphaShm}, {"AlphaQPI", p.AlphaQPI}, {"AlphaNet", p.AlphaNet},
+		{"StreamShm", p.StreamShm}, {"StreamQPI", p.StreamQPI}, {"StreamNet", p.StreamNet},
+		{"CapSocketMem", p.CapSocketMem}, {"CapQPIDir", p.CapQPIDir},
+		{"CapNetPerCable", p.CapNetPerCable}, {"MemCopy", p.MemCopy},
+	} {
+		if v.val <= 0 {
+			return fmt.Errorf("simnet: %s must be positive, got %g", v.name, v.val)
+		}
+	}
+	if p.AlphaPerHop < 0 {
+		return fmt.Errorf("simnet: AlphaPerHop must be non-negative, got %g", p.AlphaPerHop)
+	}
+	return nil
+}
+
+// Machine binds a cluster model to cost parameters.
+type Machine struct {
+	Cluster *topology.Cluster
+	Params  Params
+}
+
+// NewMachine builds a Machine, validating both halves.
+func NewMachine(c *topology.Cluster, p Params) (*Machine, error) {
+	if c == nil {
+		return nil, fmt.Errorf("simnet: nil cluster")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{Cluster: c, Params: p}, nil
+}
+
+// qpiDir is one direction of one node's socket interconnect.
+type qpiDir struct {
+	node       int
+	fromSocket int // local socket index of the sending side
+}
+
+// stageLoads aggregates the shared-resource loads of one stage.
+type stageLoads struct {
+	send, recv map[int]int // per-core message counts
+	netLinks   map[topology.DirLink]int
+	qpi        map[qpiDir]int
+	socketMem  map[int]int // per global socket index
+}
+
+func newStageLoads() *stageLoads {
+	return &stageLoads{
+		send:      make(map[int]int),
+		recv:      make(map[int]int),
+		netLinks:  make(map[topology.DirLink]int),
+		qpi:       make(map[qpiDir]int),
+		socketMem: make(map[int]int),
+	}
+}
+
+// Price computes the modelled execution time of schedule s in seconds, with
+// rank r placed on core layout[r] and every block blockBytes bytes.
+func (m *Machine) Price(s *sched.Schedule, layout []int, blockBytes int) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if len(layout) < s.P {
+		return 0, fmt.Errorf("simnet: layout covers %d ranks, schedule has %d", len(layout), s.P)
+	}
+	if blockBytes <= 0 {
+		return 0, fmt.Errorf("simnet: block size must be positive, got %d", blockBytes)
+	}
+	if err := topology.ValidateLayout(m.Cluster, layout); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, stages := range [][]sched.Stage{s.Pre, s.Stages} {
+		for i := range stages {
+			st := &stages[i]
+			t, err := m.priceStage(st, layout, blockBytes)
+			if err != nil {
+				return 0, err
+			}
+			reps := st.Repeat
+			if reps < 1 {
+				reps = 1
+			}
+			total += t * float64(reps)
+		}
+	}
+	if s.PostCopyBlocks > 0 {
+		// Every rank shuffles locally in parallel; one rank's copy time.
+		total += float64(s.PostCopyBlocks) * float64(blockBytes) / m.Params.MemCopy
+	}
+	return total, nil
+}
+
+// aggregateLoads fills loads with the per-resource message counts of one
+// stage execution under the given layout.
+func (m *Machine) aggregateLoads(st *sched.Stage, layout []int, loads *stageLoads) {
+	var routeBuf []topology.DirLink
+	for _, tr := range st.Transfers {
+		src, dst := layout[tr.Src], layout[tr.Dst]
+		loads.send[src]++
+		loads.recv[dst]++
+		srcNode, dstNode := m.Cluster.NodeOf(src), m.Cluster.NodeOf(dst)
+		switch {
+		case srcNode != dstNode:
+			if m.Cluster.Net == nil {
+				continue // uniform inter-node channel, no link accounting
+			}
+			routeBuf = m.Cluster.Net.RouteDir(routeBuf[:0], srcNode, dstNode)
+			for _, dl := range routeBuf {
+				loads.netLinks[dl]++
+			}
+		case !m.Cluster.SameSocket(src, dst):
+			loads.qpi[qpiDir{srcNode, m.localSocket(src)}]++
+			loads.socketMem[m.Cluster.SocketOf(src)]++
+			loads.socketMem[m.Cluster.SocketOf(dst)]++
+		default:
+			loads.socketMem[m.Cluster.SocketOf(src)]++
+		}
+	}
+}
+
+// priceStage returns the completion time of one execution of a stage.
+func (m *Machine) priceStage(st *sched.Stage, layout []int, blockBytes int) (float64, error) {
+	if len(st.Transfers) == 0 {
+		return 0, nil
+	}
+	loads := newStageLoads()
+	m.aggregateLoads(st, layout, loads)
+	var routeBuf []topology.DirLink
+
+	worst := 0.0
+	for _, tr := range st.Transfers {
+		t, err := m.transferTime(&tr, layout, blockBytes, loads, &routeBuf)
+		if err != nil {
+			return 0, err
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// transferTime prices one transfer under the stage's aggregated loads.
+func (m *Machine) transferTime(tr *sched.Transfer, layout []int, blockBytes int, loads *stageLoads, routeBuf *[]topology.DirLink) (float64, error) {
+	p := &m.Params
+	src, dst := layout[tr.Src], layout[tr.Dst]
+	bytes := float64(tr.N) * float64(blockBytes)
+	endpoint := loads.send[src]
+	if r := loads.recv[dst]; r > endpoint {
+		endpoint = r
+	}
+
+	srcNode, dstNode := m.Cluster.NodeOf(src), m.Cluster.NodeOf(dst)
+	var alpha, streamBeta float64
+	// invRate accumulates the largest effective seconds-per-byte across the
+	// per-stream bandwidth (scaled by endpoint serialisation) and every
+	// shared resource on the path.
+	maxInv := 0.0
+	bump := func(inv float64) {
+		if inv > maxInv {
+			maxInv = inv
+		}
+	}
+	switch {
+	case srcNode != dstNode:
+		hops := 2
+		if m.Cluster.Net != nil {
+			hops = m.Cluster.Net.Hops(srcNode, dstNode)
+		}
+		alpha = p.AlphaNet + p.AlphaPerHop*float64(hops)
+		streamBeta = 1 / p.StreamNet
+		if m.Cluster.Net != nil {
+			*routeBuf = m.Cluster.Net.RouteDir((*routeBuf)[:0], srcNode, dstNode)
+			for _, dl := range *routeBuf {
+				load := loads.netLinks[dl]
+				cap_ := p.CapNetPerCable * float64(m.Cluster.Net.Multiplicity(dl.Link))
+				bump(float64(load) / cap_)
+			}
+		}
+	case !m.Cluster.SameSocket(src, dst):
+		alpha = p.AlphaQPI
+		streamBeta = 1 / p.StreamQPI
+		bump(float64(loads.qpi[qpiDir{srcNode, m.localSocket(src)}]) / p.CapQPIDir)
+		bump(float64(loads.socketMem[m.Cluster.SocketOf(src)]) / p.CapSocketMem)
+		bump(float64(loads.socketMem[m.Cluster.SocketOf(dst)]) / p.CapSocketMem)
+	case src == dst:
+		return 0, fmt.Errorf("simnet: transfer between rank %d and %d lands on one core", tr.Src, tr.Dst)
+	default:
+		alpha = p.AlphaShm
+		streamBeta = 1 / p.StreamShm
+		bump(float64(loads.socketMem[m.Cluster.SocketOf(src)]) / p.CapSocketMem)
+	}
+	bump(streamBeta * float64(endpoint))
+	return alpha + bytes*maxInv, nil
+}
+
+// localSocket returns the within-node socket index of a core.
+func (m *Machine) localSocket(core int) int {
+	return (core % m.Cluster.CoresPerNode()) / m.Cluster.CoresPerSocket
+}

@@ -1,0 +1,114 @@
+package topology
+
+import "fmt"
+
+// Distance units. The absolute values are unimportant to the mapping
+// heuristics — only the ordering matters — but they are chosen so that every
+// additional level of the physical hierarchy strictly increases distance:
+//
+//	same core          0
+//	same socket        1   (shared L3)
+//	same node          2   (QPI crossing)
+//	same leaf switch   10 + 2 network hops  = 14
+//	same line switch   10 + 4 hops          = 18
+//	cross spine        10 + 6 hops          = 22
+//
+// matching the paper's combined use of hwloc (intra-node) and InfiniBand
+// tools (inter-node) to extract one unified distance matrix.
+const (
+	distSameSocket   = 1
+	distSameNode     = 2
+	distInterNodeOff = 10
+	distPerHop       = 2
+)
+
+// CoreDistance returns the physical distance between two global core
+// indices under the unit scheme documented above.
+func (c *Cluster) CoreDistance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	na, nb := c.NodeOf(a), c.NodeOf(b)
+	if na == nb {
+		if c.SocketOf(a) == c.SocketOf(b) {
+			return distSameSocket
+		}
+		return distSameNode
+	}
+	if c.Net == nil {
+		return distInterNodeOff + distPerHop*2
+	}
+	return distInterNodeOff + distPerHop*c.Net.Hops(na, nb)
+}
+
+// Distances is a symmetric core-to-core distance matrix over an arbitrary
+// set of cores. Entry (i, j) is the distance between Cores[i] and Cores[j].
+// The matrix is stored flattened row-major in D.
+//
+// In the paper's framework the distance matrix is extracted once at job
+// start (with hwloc and InfiniBand tools) and saved; the mapping heuristics
+// consume only this matrix, never the topology itself.
+type Distances struct {
+	Cores []int   // global core index of each row/column
+	D     []int32 // len = len(Cores)^2, row-major
+}
+
+// NewDistances computes the distance matrix for the given global core set on
+// cluster c. The cores slice is not copied; callers must not mutate it
+// afterwards.
+func NewDistances(c *Cluster, cores []int) (*Distances, error) {
+	n := len(cores)
+	if n == 0 {
+		return nil, fmt.Errorf("topology: empty core set")
+	}
+	total := c.TotalCores()
+	for _, core := range cores {
+		if core < 0 || core >= total {
+			return nil, fmt.Errorf("topology: core %d outside cluster with %d cores", core, total)
+		}
+	}
+	d := &Distances{Cores: cores, D: make([]int32, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := int32(c.CoreDistance(cores[i], cores[j]))
+			d.D[i*n+j] = dist
+			d.D[j*n+i] = dist
+		}
+	}
+	return d, nil
+}
+
+// N returns the number of cores covered by the matrix.
+func (d *Distances) N() int { return len(d.Cores) }
+
+// At returns the distance between the i-th and j-th covered cores.
+func (d *Distances) At(i, j int) int32 { return d.D[i*len(d.Cores)+j] }
+
+// Row returns the i-th row of the matrix (aliased, not copied).
+func (d *Distances) Row(i int) []int32 {
+	n := len(d.Cores)
+	return d.D[i*n : (i+1)*n]
+}
+
+// Validate checks the matrix invariants the heuristics rely on: square
+// shape, zero diagonal, symmetry and non-negativity.
+func (d *Distances) Validate() error {
+	n := len(d.Cores)
+	if len(d.D) != n*n {
+		return fmt.Errorf("topology: distance matrix has %d entries for %d cores", len(d.D), n)
+	}
+	for i := 0; i < n; i++ {
+		if d.At(i, i) != 0 {
+			return fmt.Errorf("topology: nonzero self-distance at core %d", i)
+		}
+		for j := i + 1; j < n; j++ {
+			switch {
+			case d.At(i, j) != d.At(j, i):
+				return fmt.Errorf("topology: asymmetric distance (%d,%d): %d vs %d", i, j, d.At(i, j), d.At(j, i))
+			case d.At(i, j) <= 0:
+				return fmt.Errorf("topology: non-positive distance %d between distinct cores %d,%d", d.At(i, j), i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package topology
+
+import "fmt"
+
+// FatTree models the kind of multi-level fat-tree interconnect used by the
+// GPC cluster (paper Fig. 2). The tree has three switch levels:
+//
+//	leaf switches  — each attaches NodesPerLeaf compute nodes
+//	line switches  — the lower level inside each "core switch" enclosure
+//	spine switches — the upper level inside each core switch enclosure
+//
+// Every leaf switch has LeafUplinks parallel links to its designated line
+// switch inside each core enclosure; every line switch has LineUplinks
+// parallel links to each spine switch of its enclosure. A message between
+// nodes on different leaf switches travels
+//
+//	node -> leaf -> line -> spine -> line -> leaf -> node
+//
+// unless both leaves attach to the same line switch inside the chosen
+// enclosure, in which case the spine bounce is skipped. Routing is
+// deterministic (destination-based hashing over enclosures and spines),
+// matching the static routing used by InfiniBand subnet managers.
+type FatTree struct {
+	Name string
+
+	Leaves       int // number of leaf switches
+	NodesPerLeaf int // compute nodes per leaf switch
+
+	Enclosures    int // number of core-switch enclosures
+	LinesPerEnc   int // line switches per enclosure
+	SpinesPerEnc  int // spine switches per enclosure
+	LeavesPerLine int // leaf switches attached to each line switch
+
+	LeafUplinks int // parallel cables leaf -> line (per enclosure)
+	LineUplinks int // parallel cables line -> spine
+}
+
+// GPCFatTree returns the network of paper Fig. 2: 32 leaf switches and two
+// core-switch enclosures, each enclosure a 2-level fat-tree of 8 line and 9
+// spine switches; each line switch serves a quarter of the leaves.
+//
+// The uplink multiplicities (3 leaf uplinks per enclosure, 2 line uplinks per
+// spine) follow the counts printed on the links of Fig. 2.
+func GPCFatTree() *FatTree {
+	return &FatTree{
+		Name:          "gpc-fattree",
+		Leaves:        32,
+		NodesPerLeaf:  16,
+		Enclosures:    2,
+		LinesPerEnc:   8,
+		SpinesPerEnc:  9,
+		LeavesPerLine: 4, // 32 leaves / 8 line switches
+		LeafUplinks:   3,
+		LineUplinks:   2,
+	}
+}
+
+// TwoLevelFatTree returns a simple two-level fat-tree: every leaf switch has
+// uplinks (trunked) parallel uplinks into a single top switch. Messages
+// between leaves cross leaf -> top -> leaf; the spine level is never used.
+// Useful for small test systems.
+func TwoLevelFatTree(leaves, nodesPerLeaf, uplinks int) *FatTree {
+	if uplinks < 1 {
+		uplinks = 1
+	}
+	return &FatTree{
+		Name:          fmt.Sprintf("fattree-%dx%d", leaves, nodesPerLeaf),
+		Leaves:        leaves,
+		NodesPerLeaf:  nodesPerLeaf,
+		Enclosures:    1,
+		LinesPerEnc:   1, // a single top switch serves every leaf
+		SpinesPerEnc:  1,
+		LeavesPerLine: leaves,
+		LeafUplinks:   uplinks,
+		LineUplinks:   1,
+	}
+}
+
+// Nodes returns the number of compute nodes the network can attach.
+func (f *FatTree) Nodes() int { return f.Leaves * f.NodesPerLeaf }
+
+// Validate reports structural problems with the network description.
+func (f *FatTree) Validate() error {
+	switch {
+	case f.Leaves <= 0 || f.NodesPerLeaf <= 0:
+		return fmt.Errorf("topology: fat-tree %q needs positive leaves (%d) and nodes/leaf (%d)", f.Name, f.Leaves, f.NodesPerLeaf)
+	case f.Enclosures <= 0 || f.LinesPerEnc <= 0 || f.SpinesPerEnc <= 0:
+		return fmt.Errorf("topology: fat-tree %q needs positive enclosure shape (%d enc, %d lines, %d spines)",
+			f.Name, f.Enclosures, f.LinesPerEnc, f.SpinesPerEnc)
+	case f.LeavesPerLine <= 0:
+		return fmt.Errorf("topology: fat-tree %q needs positive leaves-per-line", f.Name)
+	case f.LinesPerEnc*f.LeavesPerLine < f.Leaves:
+		return fmt.Errorf("topology: fat-tree %q line switches cover %d leaves, have %d",
+			f.Name, f.LinesPerEnc*f.LeavesPerLine, f.Leaves)
+	case f.LeafUplinks <= 0 || f.LineUplinks <= 0:
+		return fmt.Errorf("topology: fat-tree %q needs positive uplink multiplicities", f.Name)
+	}
+	return nil
+}
+
+// LeafOf returns the leaf switch a node attaches to.
+func (f *FatTree) LeafOf(node int) int { return node / f.NodesPerLeaf }
+
+// LineOf returns the line switch index (within any enclosure) serving a leaf.
+func (f *FatTree) LineOf(leaf int) int { return leaf / f.LeavesPerLine }
+
+// LinkKind distinguishes the physical channels a message can cross.
+type LinkKind uint8
+
+const (
+	// LinkNodeLeaf is the cable between a compute node's HCA and its leaf
+	// switch.
+	LinkNodeLeaf LinkKind = iota
+	// LinkLeafLine is a leaf-switch uplink into a line switch of one
+	// enclosure.
+	LinkLeafLine
+	// LinkLineSpine is a line-switch uplink into a spine switch.
+	LinkLineSpine
+)
+
+// String implements fmt.Stringer for LinkKind.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkNodeLeaf:
+		return "node-leaf"
+	case LinkLeafLine:
+		return "leaf-line"
+	case LinkLineSpine:
+		return "line-spine"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", uint8(k))
+	}
+}
+
+// Link identifies one (possibly trunked) physical link of the network
+// together with its cable multiplicity. Links are undirected: the route
+// builder always emits the canonical orientation, so a link crossed in
+// either direction contributes load to the same Link value. Multiplicity is
+// the number of parallel cables, across which the congestion model divides
+// the load.
+type Link struct {
+	Kind LinkKind
+	// A and B identify the endpoints. Their meaning depends on Kind:
+	//   LinkNodeLeaf:  A = node index,               B = leaf switch index
+	//   LinkLeafLine:  A = leaf switch index,        B = enclosure*LinesPerEnc + line
+	//   LinkLineSpine: A = enclosure*LinesPerEnc+line, B = enclosure*SpinesPerEnc + spine
+	A, B int
+}
+
+// Multiplicity returns the number of parallel cables aggregated in l.
+func (f *FatTree) Multiplicity(l Link) int {
+	switch l.Kind {
+	case LinkLeafLine:
+		return f.LeafUplinks
+	case LinkLineSpine:
+		return f.LineUplinks
+	default:
+		return 1
+	}
+}
+
+// Route appends to dst the links crossed by a message from node src to node
+// dstNode and returns the extended slice. Both directions of a pair use the
+// same link values. Routing is deterministic: the enclosure is chosen by the
+// (src leaf + dst leaf) parity-style hash and the spine by the destination
+// leaf, emulating static destination-routed InfiniBand forwarding tables.
+//
+// Route panics if src == dstNode; the caller is expected to have filtered
+// out intra-node traffic, which never enters the network.
+func (f *FatTree) Route(dst []Link, src, dstNode int) []Link {
+	if src == dstNode {
+		panic("topology: Route called for intra-node message")
+	}
+	srcLeaf, dstLeaf := f.LeafOf(src), f.LeafOf(dstNode)
+	dst = append(dst, Link{Kind: LinkNodeLeaf, A: src, B: srcLeaf})
+	if srcLeaf != dstLeaf {
+		enc := (srcLeaf + dstLeaf) % f.Enclosures
+		srcLine := enc*f.LinesPerEnc + f.LineOf(srcLeaf)
+		dstLine := enc*f.LinesPerEnc + f.LineOf(dstLeaf)
+		dst = append(dst, Link{Kind: LinkLeafLine, A: srcLeaf, B: srcLine})
+		if srcLine != dstLine {
+			// The spine is hashed symmetrically over the leaf pair so that
+			// both directions of a pair cross exactly the same links; the
+			// congestion model treats links as undirected full-duplex
+			// trunks, so symmetric routes keep its accounting exact.
+			spine := enc*f.SpinesPerEnc + (srcLeaf+dstLeaf)%f.SpinesPerEnc
+			dst = append(dst,
+				Link{Kind: LinkLineSpine, A: srcLine, B: spine},
+				Link{Kind: LinkLineSpine, A: dstLine, B: spine},
+			)
+		}
+		dst = append(dst, Link{Kind: LinkLeafLine, A: dstLeaf, B: dstLine})
+	}
+	dst = append(dst, Link{Kind: LinkNodeLeaf, A: dstNode, B: dstLeaf})
+	return dst
+}
+
+// Hops returns the number of switch-to-switch and node-to-switch links a
+// message between two distinct nodes crosses. It is the length of Route's
+// result but avoids allocating.
+func (f *FatTree) Hops(src, dstNode int) int {
+	if src == dstNode {
+		return 0
+	}
+	srcLeaf, dstLeaf := f.LeafOf(src), f.LeafOf(dstNode)
+	if srcLeaf == dstLeaf {
+		return 2 // node-leaf, leaf-node
+	}
+	enc := (srcLeaf + dstLeaf) % f.Enclosures
+	if enc*f.LinesPerEnc+f.LineOf(srcLeaf) == enc*f.LinesPerEnc+f.LineOf(dstLeaf) {
+		return 4 // node-leaf, leaf-line, line-leaf, leaf-node
+	}
+	return 6 // + line-spine, spine-line
+}
+
+// MaxHops returns the largest hop count any node pair can experience.
+func (f *FatTree) MaxHops() int {
+	if f.Leaves == 1 {
+		return 2
+	}
+	if f.LinesPerEnc == 1 || f.LeavesPerLine >= f.Leaves {
+		return 4
+	}
+	return 6
+}

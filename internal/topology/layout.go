@@ -1,0 +1,166 @@
+package topology
+
+import "fmt"
+
+// NodeOrder selects how consecutive ranks are spread across nodes, matching
+// the options resource managers such as SLURM and Hydra expose.
+type NodeOrder uint8
+
+const (
+	// Block assigns adjacent ranks to the same node as far as possible
+	// before moving to the next node.
+	Block NodeOrder = iota
+	// Cyclic distributes adjacent ranks across the nodes round-robin.
+	Cyclic
+)
+
+// String implements fmt.Stringer for NodeOrder.
+func (o NodeOrder) String() string {
+	if o == Block {
+		return "block"
+	}
+	return "cyclic"
+}
+
+// SocketOrder selects how the ranks of one node are spread across its
+// sockets.
+type SocketOrder uint8
+
+const (
+	// Bunch binds adjacent intra-node ranks to the cores of one socket
+	// before using the next socket.
+	Bunch SocketOrder = iota
+	// Scatter distributes adjacent intra-node ranks across the sockets
+	// round-robin.
+	Scatter
+)
+
+// String implements fmt.Stringer for SocketOrder.
+func (o SocketOrder) String() string {
+	if o == Bunch {
+		return "bunch"
+	}
+	return "scatter"
+}
+
+// LayoutKind names one of the four initial process layouts studied in the
+// paper's evaluation (Section VI): the cross product of NodeOrder and
+// SocketOrder.
+type LayoutKind struct {
+	Node   NodeOrder
+	Socket SocketOrder
+}
+
+// The four initial mappings of paper Section VI-A.
+var (
+	BlockBunch    = LayoutKind{Block, Bunch}
+	BlockScatter  = LayoutKind{Block, Scatter}
+	CyclicBunch   = LayoutKind{Cyclic, Bunch}
+	CyclicScatter = LayoutKind{Cyclic, Scatter}
+)
+
+// AllLayouts lists the four paper layouts in the order of Fig. 3.
+var AllLayouts = []LayoutKind{BlockBunch, BlockScatter, CyclicBunch, CyclicScatter}
+
+// String implements fmt.Stringer for LayoutKind.
+func (k LayoutKind) String() string { return k.Node.String() + "-" + k.Socket.String() }
+
+// Layout produces the rank-to-core placement of p processes on cluster c
+// under layout kind k. The result maps rank r to the global core index
+// hosting it. The job uses the first ceil(p / coresPerNode) nodes of the
+// cluster with one process per core, mirroring a dedicated allocation.
+func Layout(c *Cluster, p int, k LayoutKind) ([]int, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("topology: layout needs a positive process count, got %d", p)
+	}
+	ppn := c.CoresPerNode()
+	need := (p + ppn - 1) / ppn
+	if need > c.Nodes {
+		return nil, fmt.Errorf("topology: %d processes need %d nodes, cluster has %d", p, need, c.Nodes)
+	}
+	nodes := make([]int, need)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return LayoutOnNodes(c, p, k, nodes)
+}
+
+// LayoutOnNodes places p processes under layout kind k over an explicit
+// node allocation — the fragmented, non-contiguous node sets real resource
+// managers hand out. Nodes are used in the given order: Block fills each
+// node before moving on, Cyclic round-robins over the allocation.
+func LayoutOnNodes(c *Cluster, p int, k LayoutKind, nodes []int) ([]int, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("topology: layout needs a positive process count, got %d", p)
+	}
+	ppn := c.CoresPerNode()
+	if p > len(nodes)*ppn {
+		return nil, fmt.Errorf("topology: %d processes exceed %d nodes x %d cores", p, len(nodes), ppn)
+	}
+	seen := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		if n < 0 || n >= c.Nodes {
+			return nil, fmt.Errorf("topology: node %d outside cluster of %d nodes", n, c.Nodes)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("topology: node %d allocated twice", n)
+		}
+		seen[n] = true
+	}
+	layout := make([]int, p)
+	// The cyclic distribution spreads over only as many nodes as the job
+	// actually needs, matching Layout's behaviour on contiguous sets.
+	inUse := (p + ppn - 1) / ppn
+	if inUse > len(nodes) {
+		inUse = len(nodes)
+	}
+	for r := 0; r < p; r++ {
+		var idx, slot int
+		switch k.Node {
+		case Block:
+			idx, slot = r/ppn, r%ppn
+		case Cyclic:
+			idx, slot = r%inUse, r/inUse
+		default:
+			return nil, fmt.Errorf("topology: unknown node order %d", k.Node)
+		}
+		var socket, coreInSocket int
+		switch k.Socket {
+		case Bunch:
+			socket, coreInSocket = slot/c.CoresPerSocket, slot%c.CoresPerSocket
+		case Scatter:
+			socket, coreInSocket = slot%c.SocketsPerNode, slot/c.SocketsPerNode
+		default:
+			return nil, fmt.Errorf("topology: unknown socket order %d", k.Socket)
+		}
+		layout[r] = c.CoreAt(nodes[idx], socket, coreInSocket)
+	}
+	return layout, nil
+}
+
+// MustLayout is Layout but panics on error; intended for tests, examples and
+// benchmark setup where the arguments are static.
+func MustLayout(c *Cluster, p int, k LayoutKind) []int {
+	l, err := Layout(c, p, k)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// ValidateLayout checks that layout is an injective placement of ranks onto
+// existing cores of c.
+func ValidateLayout(c *Cluster, layout []int) error {
+	seen := make(map[int]int, len(layout))
+	total := c.TotalCores()
+	for r, core := range layout {
+		if core < 0 || core >= total {
+			return fmt.Errorf("topology: rank %d placed on core %d outside cluster (0..%d)", r, core, total-1)
+		}
+		if prev, dup := seen[core]; dup {
+			return fmt.Errorf("topology: ranks %d and %d both placed on core %d", prev, r, core)
+		}
+		seen[core] = r
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package topology
+
+import "testing"
+
+func TestLayoutOnNodesFragmented(t *testing.T) {
+	c := GPC()
+	// A fragmented allocation: nodes scattered across leaves.
+	nodes := []int{3, 17, 100, 101, 250, 400, 401, 511}
+	p := 64
+	for _, k := range AllLayouts {
+		layout, err := LayoutOnNodes(c, p, k, nodes)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := ValidateLayout(c, layout); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+		// Every core must live on an allocated node.
+		allowed := map[int]bool{}
+		for _, n := range nodes {
+			allowed[n] = true
+		}
+		for r, core := range layout {
+			if !allowed[c.NodeOf(core)] {
+				t.Errorf("%v: rank %d on unallocated node %d", k, r, c.NodeOf(core))
+			}
+		}
+	}
+}
+
+func TestLayoutOnNodesMatchesLayoutOnContiguous(t *testing.T) {
+	c, err := NewCluster(4, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []int{0, 1, 2, 3}
+	for _, k := range AllLayouts {
+		for _, p := range []int{1, 5, 8, 16} {
+			a, err := Layout(c, p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := LayoutOnNodes(c, p, k, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range a {
+				if a[r] != b[r] {
+					t.Fatalf("%v p=%d: Layout and LayoutOnNodes diverge at rank %d (%d vs %d)",
+						k, p, r, a[r], b[r])
+				}
+			}
+		}
+	}
+}
+
+func TestLayoutOnNodesErrors(t *testing.T) {
+	c, _ := NewCluster(4, 2, 2, nil)
+	if _, err := LayoutOnNodes(c, 0, BlockBunch, []int{0}); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := LayoutOnNodes(c, 9, BlockBunch, []int{0, 1}); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := LayoutOnNodes(c, 4, BlockBunch, []int{0, 9}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := LayoutOnNodes(c, 4, BlockBunch, []int{1, 1}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestFragmentedAllocationStillRepairable(t *testing.T) {
+	// The heuristics work from distances, so fragmentation is just another
+	// bad initial condition: ranks that are ring neighbours can land on
+	// far-apart nodes, and the mapping still permutes within the job's
+	// cores (it cannot defragment the allocation, only exploit it fully).
+	c := GPC()
+	nodes := []int{0, 496, 16, 480, 32, 464, 48, 448} // alternating far leaves
+	layout, err := LayoutOnNodes(c, 64, CyclicBunch, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDistances(c, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDistancesRoundTrip(t *testing.T) {
+	c := GPC()
+	layout := MustLayout(c, 128, CyclicScatter)
+	d, err := NewDistances(c, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDistances(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() {
+		t.Fatalf("N = %d, want %d", got.N(), d.N())
+	}
+	for i := range d.Cores {
+		if got.Cores[i] != d.Cores[i] {
+			t.Fatalf("core %d differs", i)
+		}
+	}
+	for i := range d.D {
+		if got.D[i] != d.D[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestReadDistancesRejectsCorruption(t *testing.T) {
+	c := SingleNode(2, 2)
+	d, _ := NewDistances(c, []int{0, 1, 2, 3})
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncated.
+	if _, err := ReadDistances(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Flipped payload byte (checksum must catch it).
+	bad := append([]byte(nil), good...)
+	bad[20] ^= 0xff
+	if _, err := ReadDistances(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+	// Wrong magic.
+	bad2 := append([]byte(nil), good...)
+	bad2[0] ^= 0xff
+	if _, err := ReadDistances(bytes.NewReader(bad2)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Empty input.
+	if _, err := ReadDistances(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

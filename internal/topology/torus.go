@@ -1,0 +1,137 @@
+package topology
+
+import "fmt"
+
+// LinkTorus identifies a torus link: A is the node at the lower coordinate
+// along the traversed axis (the +direction tail), B the neighbouring node.
+const LinkTorus LinkKind = 16
+
+// Torus3D is a 3-dimensional torus interconnect with dimension-order (X,
+// then Y, then Z) minimal routing, as used by BlueGene-class systems. Each
+// node is a router; a message between nodes crosses one link per hop along
+// each axis, taking the shorter way around each ring.
+type Torus3D struct {
+	X, Y, Z int
+	// LinkMult is the number of parallel cables per link (default 1).
+	LinkMult int
+}
+
+// NewTorus3D builds an x × y × z torus.
+func NewTorus3D(x, y, z int) *Torus3D {
+	return &Torus3D{X: x, Y: y, Z: z, LinkMult: 1}
+}
+
+// Label implements Network.
+func (t *Torus3D) Label() string { return fmt.Sprintf("torus-%dx%dx%d", t.X, t.Y, t.Z) }
+
+// Nodes implements Network.
+func (t *Torus3D) Nodes() int { return t.X * t.Y * t.Z }
+
+// Validate implements Network.
+func (t *Torus3D) Validate() error {
+	if t.X <= 0 || t.Y <= 0 || t.Z <= 0 {
+		return fmt.Errorf("topology: torus dimensions must be positive (%dx%dx%d)", t.X, t.Y, t.Z)
+	}
+	if t.LinkMult < 0 {
+		return fmt.Errorf("topology: torus link multiplicity must be non-negative")
+	}
+	return nil
+}
+
+// coords decomposes a node index (x fastest).
+func (t *Torus3D) coords(node int) (x, y, z int) {
+	x = node % t.X
+	y = (node / t.X) % t.Y
+	z = node / (t.X * t.Y)
+	return
+}
+
+// node composes a node index.
+func (t *Torus3D) node(x, y, z int) int { return x + t.X*(y+t.Y*z) }
+
+// ringDelta returns the signed minimal step count from a to b on a ring of
+// size n: positive means the +direction is (weakly) shorter. Ties go to the
+// +direction so that routing stays deterministic and symmetric pairs use
+// the same links.
+func ringDelta(a, b, n int) int {
+	d := ((b-a)%n + n) % n
+	if d*2 <= n {
+		return d
+	}
+	return d - n
+}
+
+// Hops implements Network.
+func (t *Torus3D) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	sx, sy, sz := t.coords(src)
+	dx, dy, dz := t.coords(dst)
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return abs(ringDelta(sx, dx, t.X)) + abs(ringDelta(sy, dy, t.Y)) + abs(ringDelta(sz, dz, t.Z))
+}
+
+// MaxHops implements Network.
+func (t *Torus3D) MaxHops() int { return t.X/2 + t.Y/2 + t.Z/2 }
+
+// Multiplicity implements Network.
+func (t *Torus3D) Multiplicity(Link) int {
+	if t.LinkMult < 1 {
+		return 1
+	}
+	return t.LinkMult
+}
+
+// RouteDir implements Network with dimension-order routing: resolve the X
+// offset first, then Y, then Z, stepping one ring hop at a time. The link
+// between ring neighbours c and c+1 (mod n) is canonically anchored at c;
+// Forward marks travel in the +direction.
+func (t *Torus3D) RouteDir(buf []DirLink, src, dst int) []DirLink {
+	if src == dst {
+		panic("topology: RouteDir called for intra-node message")
+	}
+	x, y, z := t.coords(src)
+	dx, dy, dz := t.coords(dst)
+	walk := func(cur *int, target, n int, step func(from, to int)) {
+		delta := ringDelta(*cur, target, n)
+		for delta != 0 {
+			next := *cur
+			if delta > 0 {
+				next = (*cur + 1) % n
+				delta--
+			} else {
+				next = (*cur - 1 + n) % n
+				delta++
+			}
+			step(*cur, next)
+			*cur = next
+		}
+	}
+	walk(&x, dx, t.X, func(from, to int) {
+		buf = t.appendHop(buf, t.node(from, y, z), t.node(to, y, z), from, to, t.X)
+	})
+	walk(&y, dy, t.Y, func(from, to int) {
+		buf = t.appendHop(buf, t.node(x, from, z), t.node(x, to, z), from, to, t.Y)
+	})
+	walk(&z, dz, t.Z, func(from, to int) {
+		buf = t.appendHop(buf, t.node(x, y, from), t.node(x, y, to), from, to, t.Z)
+	})
+	return buf
+}
+
+// appendHop emits the directed link between two ring-neighbour nodes.
+// fromCoord/toCoord are positions on the traversed axis ring of size n.
+func (t *Torus3D) appendHop(buf []DirLink, fromNode, toNode, fromCoord, toCoord, n int) []DirLink {
+	forward := toCoord == (fromCoord+1)%n
+	a, b := fromNode, toNode
+	if !forward {
+		a, b = toNode, fromNode // canonical anchor: the +direction tail
+	}
+	return append(buf, DirLink{Link: Link{Kind: LinkTorus, A: a, B: b}, Forward: forward})
+}

@@ -1,0 +1,290 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/hwdisc"
+	"repro/internal/mpi"
+	"repro/internal/patterns"
+	"repro/internal/sched"
+	"repro/internal/scotch"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Re-exported topology types and constructors.
+type (
+	// Cluster models a multicore cluster: nodes x sockets x cores plus an
+	// optional interconnect.
+	Cluster = topology.Cluster
+	// Network abstracts the inter-node interconnect (fat-tree or torus).
+	Network = topology.Network
+	// FatTree models a multi-level fat-tree network.
+	FatTree = topology.FatTree
+	// Torus3D models a 3D torus network with dimension-order routing.
+	Torus3D = topology.Torus3D
+	// Distances is the core-to-core physical distance matrix consumed by
+	// the mapping heuristics.
+	Distances = topology.Distances
+	// LayoutKind names an initial process-to-core layout policy.
+	LayoutKind = topology.LayoutKind
+)
+
+// The four initial layouts of the paper's evaluation.
+var (
+	BlockBunch    = topology.BlockBunch
+	BlockScatter  = topology.BlockScatter
+	CyclicBunch   = topology.CyclicBunch
+	CyclicScatter = topology.CyclicScatter
+)
+
+// NewCluster builds a cluster model; see topology.NewCluster.
+func NewCluster(nodes, socketsPerNode, coresPerSocket int, net Network) (*Cluster, error) {
+	return topology.NewCluster(nodes, socketsPerNode, coresPerSocket, net)
+}
+
+// NewTorus3D builds an x by y by z torus interconnect.
+func NewTorus3D(x, y, z int) *Torus3D { return topology.NewTorus3D(x, y, z) }
+
+// GPC returns the model of the paper's testbed: 512 dual-socket quad-core
+// nodes under the SciNet GPC fat-tree (paper Fig. 2).
+func GPC() *Cluster { return topology.GPC() }
+
+// GPCFatTree returns the paper's Fig. 2 interconnect on its own.
+func GPCFatTree() *FatTree { return topology.GPCFatTree() }
+
+// TwoLevelFatTree returns a simple two-level tree for small systems.
+func TwoLevelFatTree(leaves, nodesPerLeaf, uplinks int) *FatTree {
+	return topology.TwoLevelFatTree(leaves, nodesPerLeaf, uplinks)
+}
+
+// NewLayout places p processes on the cluster under the given layout kind
+// and returns the rank-to-core array.
+func NewLayout(c *Cluster, p int, k LayoutKind) ([]int, error) { return topology.Layout(c, p, k) }
+
+// NewLayoutOnNodes places p processes over an explicit (possibly
+// fragmented) node allocation; see topology.LayoutOnNodes.
+func NewLayoutOnNodes(c *Cluster, p int, k LayoutKind, nodes []int) ([]int, error) {
+	return topology.LayoutOnNodes(c, p, k, nodes)
+}
+
+// NewDistances computes the physical distance matrix over the given cores
+// (indexed by rank), without the discovery cost model; Plan uses the
+// modelled discovery instead.
+func NewDistances(c *Cluster, cores []int) (*Distances, error) {
+	return topology.NewDistances(c, cores)
+}
+
+// Mapping is a rank permutation: Mapping[newRank] = initial rank whose core
+// hosts newRank.
+type Mapping = core.Mapping
+
+// Pattern names a collective communication pattern with a fine-tuned
+// heuristic.
+type Pattern = core.Pattern
+
+// The patterns covered by the paper's heuristics.
+const (
+	RecursiveDoubling = core.RecursiveDoubling
+	Ring              = core.Ring
+	BinomialBroadcast = core.BinomialBroadcast
+	BinomialGather    = core.BinomialGather
+)
+
+// The paper's four fine-tuned mapping heuristics (Algorithms 2-5), plus
+// BKMH, this repository's extension of the same recipe to the Bruck
+// allgather (the paper's first future-work item).
+var (
+	RDMH = core.RDMH
+	RMH  = core.RMH
+	BBMH = core.BBMH
+	BGMH = core.BGMH
+	BKMH = core.BKMH
+)
+
+// ScotchMap runs the bundled general-purpose (Scotch-style) mapper on the
+// communication pattern of pat — the baseline the paper compares against.
+// Unlike the heuristics it must first build an explicit pattern graph.
+func ScotchMap(pat Pattern, d *Distances) (Mapping, error) {
+	g, err := patterns.Build(pat, d.N())
+	if err != nil {
+		return nil, err
+	}
+	return scotch.Map(g, d, nil)
+}
+
+// ReorderPlan is the result of planning a topology-aware reordering for one
+// collective pattern on one job.
+type ReorderPlan struct {
+	// Pattern is the collective pattern the plan optimises.
+	Pattern Pattern
+	// Mapping is the computed rank reordering.
+	Mapping Mapping
+	// Layout is the initial rank-to-core placement the plan was built for.
+	Layout []int
+	// ReorderedLayout is the placement after applying Mapping.
+	ReorderedLayout []int
+	// DiscoveryTime is the modelled one-time cost of extracting physical
+	// distances (hwloc + InfiniBand tools in the paper).
+	DiscoveryTime time.Duration
+	// MappingTime is the measured wall-clock cost of the heuristic.
+	MappingTime time.Duration
+}
+
+// Plan performs the full run-time reordering workflow of paper Section IV
+// for one pattern: extract physical distances (once), run the pattern's
+// fine-tuned heuristic, and return the mapping together with its overheads.
+func Plan(c *Cluster, layout []int, pat Pattern) (*ReorderPlan, error) {
+	disc, err := hwdisc.Discover(c, layout, hwdisc.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	h := pat.Heuristic()
+	if h == nil {
+		return nil, fmt.Errorf("repro: no heuristic for pattern %v", pat)
+	}
+	start := time.Now()
+	m, err := h(disc.Distances, nil)
+	if err != nil {
+		return nil, err
+	}
+	mappingTime := time.Since(start)
+	re, err := m.Apply(layout)
+	if err != nil {
+		return nil, err
+	}
+	return &ReorderPlan{
+		Pattern:         pat,
+		Mapping:         m,
+		Layout:          layout,
+		ReorderedLayout: re,
+		DiscoveryTime:   disc.Elapsed,
+		MappingTime:     mappingTime,
+	}, nil
+}
+
+// PlanAll plans reorderings for several patterns while paying the
+// physical-distance discovery only once — the paper's point that the
+// extraction is a one-time overhead while "the whole process can be
+// repeated to create reordered communicators for each desired collective
+// communication pattern" (Section IV). The returned plans appear in the
+// order of the patterns argument and share the same DiscoveryTime.
+func PlanAll(c *Cluster, layout []int, pats ...Pattern) ([]*ReorderPlan, error) {
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("repro: no patterns given")
+	}
+	disc, err := hwdisc.Discover(c, layout, hwdisc.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]*ReorderPlan, 0, len(pats))
+	for _, pat := range pats {
+		h := pat.Heuristic()
+		if h == nil {
+			return nil, fmt.Errorf("repro: no heuristic for pattern %v", pat)
+		}
+		start := time.Now()
+		m, err := h(disc.Distances, nil)
+		if err != nil {
+			return nil, err
+		}
+		mappingTime := time.Since(start)
+		re, err := m.Apply(layout)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, &ReorderPlan{
+			Pattern:         pat,
+			Mapping:         m,
+			Layout:          layout,
+			ReorderedLayout: re,
+			DiscoveryTime:   disc.Elapsed,
+			MappingTime:     mappingTime,
+		})
+	}
+	return plans, nil
+}
+
+// Machine is the contention-aware cost model over a cluster.
+type Machine = simnet.Machine
+
+// CostParams holds the cost-model constants.
+type CostParams = simnet.Params
+
+// DefaultCostParams returns constants calibrated to the paper's testbed.
+func DefaultCostParams() CostParams { return simnet.DefaultParams() }
+
+// NewMachine binds a cluster to cost parameters.
+func NewMachine(c *Cluster, p CostParams) (*Machine, error) { return simnet.NewMachine(c, p) }
+
+// Speedup prices the plan's pattern at the given per-process message size
+// under both the initial and the reordered layout and returns (default
+// seconds, reordered seconds, improvement percent). The reordered time
+// includes the extra-initial-communication order fix where the algorithm
+// needs one.
+func (p *ReorderPlan) Speedup(m *Machine, msgBytes int) (def, reordered, improvement float64, err error) {
+	s, err := sched.ForPattern(p.Pattern, len(p.Layout))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	def, err = m.Price(s, p.Layout, msgBytes)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	withFix, err := sched.WithOrderPreservation(s, p.Mapping, sched.InitComm)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	reordered, err = m.Price(withFix, p.ReorderedLayout, msgBytes)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if def > 0 {
+		improvement = (def - reordered) / def * 100
+	}
+	return def, reordered, improvement, nil
+}
+
+// Runtime re-exports: the goroutine MPI-like runtime.
+type (
+	// Comm is a communicator of the bundled message-passing runtime.
+	Comm = mpi.Comm
+	// Reordered couples a communicator with its reordered copy and the
+	// order-preservation machinery.
+	Reordered = collective.Reordered
+	// Algorithm selects a flat allgather algorithm.
+	Algorithm = collective.Algorithm
+	// OrderMode selects the output-order preservation mechanism.
+	OrderMode = sched.OrderMode
+)
+
+// Allgather algorithm selectors.
+const (
+	AlgAuto              = collective.AlgAuto
+	AlgRecursiveDoubling = collective.AlgRecursiveDoubling
+	AlgRing              = collective.AlgRing
+	AlgBruck             = collective.AlgBruck
+)
+
+// Order-preservation modes (paper Section V-B).
+const (
+	InitComm   = sched.InitComm
+	EndShuffle = sched.EndShuffle
+)
+
+// Run spawns a world of p communicating processes; see mpi.Run.
+func Run(p int, body func(c *Comm) error) error { return mpi.Run(p, body) }
+
+// Allgather runs a flat allgather on the runtime.
+func Allgather(c *Comm, send, recv []byte, alg Algorithm) error {
+	return collective.Allgather(c, send, recv, alg)
+}
+
+// NewReordered collectively builds the reordered communicator for mapping m
+// with the chosen order-preservation mode.
+func NewReordered(c *Comm, m Mapping, mode OrderMode) (*Reordered, error) {
+	return collective.NewReordered(c, m, mode)
+}
