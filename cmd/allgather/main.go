@@ -6,6 +6,7 @@
 //
 //	allgather -p 4096 -layout cyclic-bunch -size 65536
 //	allgather -p 64 -layout cyclic-scatter -size 1024 -real
+//	allgather -p 64 -size 1024 -real -trace allgather.trace.json
 package main
 
 import (
@@ -16,12 +17,14 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/core"
+	"repro/internal/mpi"
 	"repro/internal/osu"
 	"repro/internal/patterns"
 	"repro/internal/sched"
 	"repro/internal/scotch"
 	"repro/internal/simnet"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -31,15 +34,19 @@ func main() {
 	alg := flag.String("alg", "auto", "algorithm: auto, rd, ring, bruck, neighbor")
 	withScotch := flag.Bool("scotch", false, "also evaluate the Scotch baseline mapping")
 	real := flag.Bool("real", false, "also execute the collective on the goroutine runtime (small p only)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the -real execution to this file (load in chrome://tracing or Perfetto)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *p, *layoutName, *size, *alg, *withScotch, *real); err != nil {
+	if err := run(os.Stdout, *p, *layoutName, *size, *alg, *withScotch, *real, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "allgather:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, p int, layoutName string, size int, algName string, withScotch, real bool) error {
+func run(w io.Writer, p int, layoutName string, size int, algName string, withScotch, real bool, tracePath string) error {
+	if tracePath != "" && !real {
+		return fmt.Errorf("-trace records the runtime execution and requires -real")
+	}
 	var kind topology.LayoutKind
 	found := false
 	for _, k := range topology.AllLayouts {
@@ -122,11 +129,23 @@ func run(w io.Writer, p int, layoutName string, size int, algName string, withSc
 		if p > 1024 {
 			return fmt.Errorf("-real is intended for small process counts (got %d)", p)
 		}
-		res, err := osu.MeasureRuntime(p, size, collective.AlgAuto, 2, 5)
+		var rec *trace.Recorder
+		var opts []mpi.Option
+		if tracePath != "" {
+			rec = trace.NewRecorder()
+			opts = append(opts, mpi.WithTracer(rec))
+		}
+		res, err := osu.MeasureRuntime(p, size, collective.AlgAuto, 2, 5, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "  real goroutine runtime (default order): %v per call\n", res.Latency)
+		if rec != nil {
+			if err := trace.WriteChromeTraceFile(tracePath, rec); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  trace: %d events from %d ranks written to %s\n", rec.Len(), rec.Ranks(), tracePath)
+		}
 	}
 	return nil
 }

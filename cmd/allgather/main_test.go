@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunModelOnly(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 512, "cyclic-bunch", 65536, "auto", true, false); err != nil {
+	if err := run(&buf, 512, "cyclic-bunch", 65536, "auto", true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +24,7 @@ func TestRunModelOnly(t *testing.T) {
 
 func TestRunSmallMessageUsesRecursiveDoubling(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 256, "block-bunch", 512, "auto", false, false); err != nil {
+	if err := run(&buf, 256, "block-bunch", 512, "auto", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "recursive-doubling") {
@@ -31,22 +34,52 @@ func TestRunSmallMessageUsesRecursiveDoubling(t *testing.T) {
 
 func TestRunRealPath(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 16, "block-bunch", 256, "auto", false, true); err != nil {
+	if err := run(&buf, 16, "block-bunch", 256, "auto", false, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "real goroutine runtime") {
 		t.Error("missing runtime measurement")
 	}
-	if err := run(&bytes.Buffer{}, 2048, "block-bunch", 256, "auto", false, true); err == nil {
+	if err := run(&bytes.Buffer{}, 2048, "block-bunch", 256, "auto", false, true, ""); err == nil {
 		t.Error("-real accepted a huge process count")
 	}
 }
 
+func TestRunRealTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allgather.trace.json")
+	var buf bytes.Buffer
+	if err := run(&buf, 8, "block-bunch", 256, "auto", false, true, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace:") {
+		t.Errorf("output missing trace summary:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events")
+	}
+}
+
+func TestTraceRequiresReal(t *testing.T) {
+	if err := run(&bytes.Buffer{}, 8, "block-bunch", 256, "auto", false, false, "x.json"); err == nil {
+		t.Error("-trace without -real accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(&bytes.Buffer{}, 16, "nope", 256, "auto", false, false); err == nil {
+	if err := run(&bytes.Buffer{}, 16, "nope", 256, "auto", false, false, ""); err == nil {
 		t.Error("unknown layout accepted")
 	}
-	if err := run(&bytes.Buffer{}, 999999, "block-bunch", 256, "auto", false, false); err == nil {
+	if err := run(&bytes.Buffer{}, 999999, "block-bunch", 256, "auto", false, false, ""); err == nil {
 		t.Error("oversubscription accepted")
 	}
 }
@@ -55,18 +88,18 @@ func TestRunExplicitAlgorithms(t *testing.T) {
 	for _, alg := range []string{"rd", "ring", "bruck", "neighbor"} {
 		p := 256
 		var buf bytes.Buffer
-		if err := run(&buf, p, "cyclic-bunch", 4096, alg, false, false); err != nil {
+		if err := run(&buf, p, "cyclic-bunch", 4096, alg, false, false, ""); err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
 		if !strings.Contains(buf.String(), "heuristic (Hrstc)") {
 			t.Errorf("%s: missing heuristic row", alg)
 		}
 	}
-	if err := run(&bytes.Buffer{}, 16, "block-bunch", 64, "nope", false, false); err == nil {
+	if err := run(&bytes.Buffer{}, 16, "block-bunch", 64, "nope", false, false, ""); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 	// Scotch has no pattern graph for the extension algorithms.
-	if err := run(&bytes.Buffer{}, 16, "block-bunch", 64, "bruck", true, false); err == nil {
+	if err := run(&bytes.Buffer{}, 16, "block-bunch", 64, "bruck", true, false, ""); err == nil {
 		t.Error("Scotch on bruck accepted")
 	}
 }

@@ -19,8 +19,11 @@ import (
 	"os"
 
 	"repro/internal/app"
+	"repro/internal/collective"
 	"repro/internal/experiments"
+	"repro/internal/mpi"
 	"repro/internal/osu"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -28,15 +31,16 @@ func main() {
 	procs := flag.Int("p", 4096, "micro-benchmark process count")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables")
+	tracePath := flag.String("trace", "", "also run a laptop-scale allgather on the real runtime and write its Chrome trace to this file")
 	flag.Parse()
 
-	if err := run(os.Stdout, *fig, *procs, *quick, *csvOut); err != nil {
+	if err := run(os.Stdout, *fig, *procs, *quick, *csvOut, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, fig string, procs int, quick, csvOut bool) error {
+func run(w io.Writer, fig string, procs int, quick, csvOut bool, tracePath string) error {
 	sizes := osu.DefaultSizes()
 	appCfg := app.DefaultConfig()
 	if quick {
@@ -176,5 +180,44 @@ func run(w io.Writer, fig string, procs int, quick, csvOut bool) error {
 			fmt.Fprintln(w, experiments.RenderOverheads(rows))
 		}
 	}
+	if tracePath != "" {
+		if err := writeRuntimeTrace(w, tracePath, procs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeRuntimeTrace runs a laptop-scale flat + hierarchical-style allgather
+// sequence on the real goroutine runtime with tracing enabled and exports
+// the recording as Chrome trace-event JSON. The figures themselves are
+// priced on the cost model; this demonstrates the observed side — every
+// send, delivery and receive wait of the collectives the model prices.
+func writeRuntimeTrace(w io.Writer, path string, procs int) error {
+	p := procs
+	if p > 64 {
+		p = 64 // power of two, keeps the recursive doubling leg valid
+	}
+	rec := trace.NewRecorder()
+	stats := mpi.NewStats()
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		send := make([]byte, 1024)
+		for i := range send {
+			send[i] = byte(c.Rank() + i)
+		}
+		recv := make([]byte, c.Size()*len(send))
+		if err := collective.RecursiveDoublingAllgather(c, send, recv); err != nil {
+			return err
+		}
+		return collective.RingAllgather(c, send, recv, nil)
+	}, mpi.WithTracer(rec), mpi.WithStats(stats))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTraceFile(path, rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace: %d events from %d ranks (%d messages) written to %s\n",
+		rec.Len(), rec.Ranks(), stats.TotalMessages(), path)
 	return nil
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,7 +14,7 @@ func TestRunQuickAllFigures(t *testing.T) {
 		t.Skip("runs the quick evaluation")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "all", 4096, true, false); err != nil {
+	if err := run(&buf, "all", 4096, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -30,7 +33,7 @@ func TestRunSingleFigure(t *testing.T) {
 		t.Skip("runs the quick evaluation")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "7", 256, true, false); err != nil {
+	if err := run(&buf, "7", 256, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -43,8 +46,28 @@ func TestRunSingleFigure(t *testing.T) {
 }
 
 func TestRunRejectsBadProcs(t *testing.T) {
-	if err := run(&bytes.Buffer{}, "3", -1, false, false); err == nil {
+	if err := run(&bytes.Buffer{}, "3", -1, false, false, ""); err == nil {
 		t.Error("negative process count accepted")
+	}
+}
+
+func TestRunTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reproduce.trace.json")
+	var buf bytes.Buffer
+	// An unmatched -fig value regenerates nothing, so this exercises just
+	// the runtime trace demo.
+	if err := run(&buf, "none", 256, true, false, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace:") {
+		t.Errorf("output missing trace summary:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Error("trace file is not valid JSON")
 	}
 }
 
@@ -53,7 +76,7 @@ func TestRunCSVOutput(t *testing.T) {
 		t.Skip("runs the quick evaluation")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "7", 256, true, true); err != nil {
+	if err := run(&buf, "7", 256, true, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

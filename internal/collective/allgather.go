@@ -62,6 +62,8 @@ func RingAllgather(c *mpi.Comm, send, recv []byte, place Placement) error {
 	if err != nil {
 		return err
 	}
+	c.TraceEnter("allgather/ring")
+	defer c.TraceExit("allgather/ring")
 	p, me := c.Size(), c.Rank()
 	copy(recv[position(place, me)*blk:], send)
 	if p == 1 {
@@ -69,6 +71,9 @@ func RingAllgather(c *mpi.Comm, send, recv []byte, place Placement) error {
 	}
 	next, prev := (me+1)%p, (me-1+p)%p
 	for t := 0; t < p-1; t++ {
+		if c.Tracing() {
+			c.TracePoint(fmt.Sprintf("ring stage %d", t))
+		}
 		// Forward the block contributed by rank (me - t); receive the one
 		// contributed by rank (me - 1 - t).
 		outOwner := ((me-t)%p + p) % p
@@ -103,9 +108,14 @@ func RecursiveDoublingAllgather(c *mpi.Comm, send, recv []byte) error {
 	if p&(p-1) != 0 {
 		return fmt.Errorf("collective: recursive doubling needs a power-of-two size, got %d", p)
 	}
+	c.TraceEnter("allgather/recursive-doubling")
+	defer c.TraceExit("allgather/recursive-doubling")
 	copy(recv[me*blk:], send)
 	stage := 0
 	for mask := 1; mask < p; mask <<= 1 {
+		if c.Tracing() {
+			c.TracePoint(fmt.Sprintf("rd stage %d", stage))
+		}
 		partner := me ^ mask
 		myStart := me &^ (mask - 1)
 		out := recv[myStart*blk : (myStart+mask)*blk]
@@ -131,6 +141,8 @@ func BruckAllgather(c *mpi.Comm, send, recv []byte) error {
 	if err != nil {
 		return err
 	}
+	c.TraceEnter("allgather/bruck")
+	defer c.TraceExit("allgather/bruck")
 	p, me := c.Size(), c.Rank()
 	tmp := make([]byte, p*blk)
 	copy(tmp, send)

@@ -23,6 +23,8 @@ func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank
 	if err != nil {
 		return err
 	}
+	c.TraceEnter("allgather/hierarchical")
+	defer c.TraceExit("allgather/hierarchical")
 	p := c.Size()
 
 	// Node communicator: processes sharing a node, ordered by comm rank.
@@ -55,6 +57,7 @@ func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank
 	}
 
 	// Phase 1: gather tagged blocks into the leader.
+	c.TraceEnter("hierarchical/gather")
 	switch cfg.Intra {
 	case sched.Linear:
 		err = LinearGather(nodeComm, 0, rec, nodeBuf, nil)
@@ -63,12 +66,14 @@ func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank
 	default:
 		return fmt.Errorf("collective: unknown intra kind %d", cfg.Intra)
 	}
+	c.TraceExit("hierarchical/gather")
 	if err != nil {
 		return fmt.Errorf("collective: hierarchical gather phase: %w", err)
 	}
 
 	// Phase 2: allgather among leaders. Requires equal node populations,
 	// like the paper's fully populated allocations.
+	c.TraceEnter("hierarchical/inter")
 	full := make([]byte, p*(8+blk))
 	if isLeader {
 		if leaderComm == nil {
@@ -88,17 +93,21 @@ func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank
 			return fmt.Errorf("collective: unknown inter kind %d", cfg.Inter)
 		}
 		if err != nil {
+			c.TraceExit("hierarchical/inter")
 			return fmt.Errorf("collective: hierarchical inter phase: %w", err)
 		}
 	}
+	c.TraceExit("hierarchical/inter")
 
 	// Phase 3: broadcast the assembled buffer inside each node.
+	c.TraceEnter("hierarchical/bcast")
 	switch cfg.Intra {
 	case sched.Linear:
 		err = LinearBroadcast(nodeComm, 0, full)
 	default:
 		err = BinomialBroadcast(nodeComm, 0, full)
 	}
+	c.TraceExit("hierarchical/bcast")
 	if err != nil {
 		return fmt.Errorf("collective: hierarchical broadcast phase: %w", err)
 	}

@@ -24,6 +24,8 @@ func NeighborExchangeAllgather(c *mpi.Comm, send, recv []byte, place Placement) 
 	if p%2 != 0 && p != 1 {
 		return fmt.Errorf("collective: neighbor exchange needs an even size, got %d", p)
 	}
+	c.TraceEnter("allgather/neighbor-exchange")
+	defer c.TraceExit("allgather/neighbor-exchange")
 	copy(recv[position(place, me)*blk:], send)
 	if p == 1 {
 		return nil

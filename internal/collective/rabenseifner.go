@@ -33,11 +33,14 @@ func RabenseifnerAllreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
 	if p == 1 {
 		return nil
 	}
+	c.TraceEnter("allreduce/rabenseifner")
+	defer c.TraceExit("allreduce/rabenseifner")
 	chunk := len(buf) / p
 
 	// Phase 1: recursive halving reduce-scatter. The owned byte range
 	// [lo, hi) halves every stage; after log2(p) stages rank me owns the
 	// fully reduced chunk me.
+	c.TraceEnter("rabenseifner/reduce-scatter")
 	lo, hi := 0, len(buf)
 	stage := 0
 	for mask := p / 2; mask >= 1; mask >>= 1 {
@@ -61,11 +64,14 @@ func RabenseifnerAllreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
 		lo, hi = keepLo, keepHi
 		stage++
 	}
+	c.TraceExit("rabenseifner/reduce-scatter")
 	if hi-lo != chunk || lo != me*chunk {
 		return fmt.Errorf("collective: rabenseifner ended phase 1 owning [%d,%d), want chunk %d", lo, hi, me)
 	}
 
 	// Phase 2: recursive doubling allgather of the reduced chunks.
+	c.TraceEnter("rabenseifner/allgather")
+	defer c.TraceExit("rabenseifner/allgather")
 	for mask := 1; mask < p; mask <<= 1 {
 		partner := me ^ mask
 		myStart := (me &^ (mask - 1)) * chunk

@@ -160,10 +160,12 @@ func (r *Reordered) Allgather(send, recv []byte, alg Algorithm) error {
 			// Send my input to the process acting as my original rank; my
 			// original rank is mapping[me]. Receive the input of original
 			// rank me from the process holding it (new rank inv[me]).
+			r.re.TraceEnter("reordered/init-comm")
 			if err := r.re.Send(r.mapping[me], tagOrderFix, send); err != nil {
 				return err
 			}
 			in, err := r.re.Recv(r.inv[me], tagOrderFix)
+			r.re.TraceExit("reordered/init-comm")
 			if err != nil {
 				return err
 			}
@@ -180,11 +182,13 @@ func (r *Reordered) Allgather(send, recv []byte, alg Algorithm) error {
 		if err := r.runFlat(resolved, send, recv); err != nil {
 			return err
 		}
+		r.re.TraceEnter("reordered/end-shuffle")
 		tmp := make([]byte, len(recv))
 		copy(tmp, recv)
 		for j := 0; j < r.re.Size(); j++ {
 			copy(recv[r.mapping[j]*blk:], tmp[j*blk:(j+1)*blk])
 		}
+		r.re.TraceExit("reordered/end-shuffle")
 		return nil
 	default:
 		return fmt.Errorf("collective: unknown order mode %v", r.mode)

@@ -1,0 +1,104 @@
+package collective
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// countNamed tallies collective enter/exit annotations per name.
+func countNamed(rec *trace.Recorder, kind trace.Kind) map[string]int {
+	out := map[string]int{}
+	for _, e := range rec.All() {
+		if e.Kind == kind {
+			out[e.Name]++
+		}
+	}
+	return out
+}
+
+func TestAllgatherAnnotatesTrace(t *testing.T) {
+	const p, blk = 4, 16
+	for _, alg := range []Algorithm{AlgRing, AlgRecursiveDoubling, AlgBruck} {
+		rec := trace.NewRecorder()
+		err := mpi.Run(p, func(c *mpi.Comm) error {
+			send := bytes.Repeat([]byte{byte(c.Rank())}, blk)
+			recv := make([]byte, p*blk)
+			return Allgather(c, send, recv, alg)
+		}, mpi.WithTracer(rec))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		name := "allgather/" + alg.String()
+		enters := countNamed(rec, trace.KindCollectiveEnter)
+		exits := countNamed(rec, trace.KindCollectiveExit)
+		if enters[name] != p || exits[name] != p {
+			t.Errorf("%v: enter/exit = %d/%d, want %d/%d (all: %v)",
+				alg, enters[name], exits[name], p, p, enters)
+		}
+	}
+}
+
+func TestRingStagesAnnotated(t *testing.T) {
+	const p, blk = 4, 8
+	rec := trace.NewRecorder()
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		send := bytes.Repeat([]byte{byte(c.Rank())}, blk)
+		recv := make([]byte, p*blk)
+		return RingAllgather(c, send, recv, nil)
+	}, mpi.WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Count(trace.KindPoint); got != p*(p-1) {
+		t.Errorf("stage points = %d, want %d", got, p*(p-1))
+	}
+}
+
+func TestHierarchicalPhasesAnnotated(t *testing.T) {
+	const p, blk = 8, 8
+	rec := trace.NewRecorder()
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		send := bytes.Repeat([]byte{byte(c.Rank())}, blk)
+		recv := make([]byte, p*blk)
+		return HierarchicalAllgather(c, send, recv,
+			func(worldRank int) int { return worldRank / 2 },
+			sched.HierarchicalConfig{Intra: sched.NonLinear, Inter: sched.InterRecursiveDoubling})
+	}, mpi.WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enters := countNamed(rec, trace.KindCollectiveEnter)
+	exits := countNamed(rec, trace.KindCollectiveExit)
+	for _, phase := range []string{
+		"allgather/hierarchical", "hierarchical/gather",
+		"hierarchical/inter", "hierarchical/bcast",
+	} {
+		if enters[phase] != p || exits[phase] != p {
+			t.Errorf("phase %q enter/exit = %d/%d, want %d/%d",
+				phase, enters[phase], exits[phase], p, p)
+		}
+	}
+	// Split events for the node and leader communicators appear too.
+	if rec.Count(trace.KindCommSplit) == 0 {
+		t.Error("hierarchical run recorded no comm-split events")
+	}
+}
+
+func TestUntracedWorldRecordsNothing(t *testing.T) {
+	const p, blk = 4, 8
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		if c.Tracing() {
+			t.Error("Tracing() true without a tracer")
+		}
+		send := bytes.Repeat([]byte{byte(c.Rank())}, blk)
+		recv := make([]byte, p*blk)
+		return RingAllgather(c, send, recv, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

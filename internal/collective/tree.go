@@ -18,6 +18,8 @@ func BinomialBroadcast(c *mpi.Comm, root int, data []byte) error {
 	if p == 1 {
 		return nil
 	}
+	c.TraceEnter("bcast/binomial")
+	defer c.TraceExit("bcast/binomial")
 	vr := ((me-root)%p + p) % p
 	// Receive from the parent (clear the lowest set bit of vr).
 	mask := 1
@@ -76,6 +78,8 @@ func BinomialGather(c *mpi.Comm, root int, send, recv []byte, place Placement) e
 	if me == root && len(recv) != p*blk {
 		return fmt.Errorf("collective: gather recv buffer is %d bytes, want %d", len(recv), p*blk)
 	}
+	c.TraceEnter("gather/binomial")
+	defer c.TraceExit("gather/binomial")
 	vr := ((me-root)%p + p) % p
 	// tmp accumulates the contiguous virtual-rank range [vr, vr+cnt).
 	tmp := make([]byte, subtreeSize(vr, p)*blk)
@@ -143,6 +147,8 @@ func LinearGather(c *mpi.Comm, root int, send, recv []byte, place Placement) err
 	if root < 0 || root >= p {
 		return fmt.Errorf("collective: gather root %d outside communicator of size %d", root, p)
 	}
+	c.TraceEnter("gather/linear")
+	defer c.TraceExit("gather/linear")
 	if me != root {
 		return c.Send(root, tagGather, send)
 	}
@@ -172,6 +178,8 @@ func LinearBroadcast(c *mpi.Comm, root int, data []byte) error {
 	if root < 0 || root >= p {
 		return fmt.Errorf("collective: broadcast root %d outside communicator of size %d", root, p)
 	}
+	c.TraceEnter("bcast/linear")
+	defer c.TraceExit("bcast/linear")
 	if me == root {
 		for r := 0; r < p; r++ {
 			if r == root {

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
+
+	"repro/internal/mpi"
 )
 
 // PanelsCSV writes improvement series as CSV with the columns
@@ -55,6 +57,49 @@ func AppCSV(w io.Writer, panels []struct {
 			if err := cw.Write(rec); err != nil {
 				return err
 			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TrafficCSV writes the observed traffic of a runtime execution as CSV with
+// the columns src,dst,max_bytes,messages — one row per (world-rank pair,
+// message-size bucket), where max_bytes is the bucket's inclusive upper
+// bound (see mpi.SizeBucket). This is the observed side of the
+// model-vs-runtime cross-validation: the same pairwise volumes the simnet
+// cost model assumes, as the runtime actually moved them.
+func TrafficCSV(w io.Writer, s *mpi.Stats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"src", "dst", "max_bytes", "messages"}); err != nil {
+		return err
+	}
+	type row struct {
+		src, dst, bucket int
+		count            int64
+	}
+	var rows []row
+	for pair, hist := range s.PairHistograms() {
+		for bucket, count := range hist {
+			rows = append(rows, row{pair[0], pair[1], bucket, count})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].src != rows[j].src {
+			return rows[i].src < rows[j].src
+		}
+		if rows[i].dst != rows[j].dst {
+			return rows[i].dst < rows[j].dst
+		}
+		return rows[i].bucket < rows[j].bucket
+	})
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.src), strconv.Itoa(r.dst),
+			strconv.Itoa(r.bucket), strconv.FormatInt(r.count, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
 		}
 	}
 	cw.Flush()

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/mpi"
 )
 
 func TestPanelsCSV(t *testing.T) {
@@ -60,5 +62,39 @@ func TestOverheadsCSV(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "1024,0.856000,0.001000,0.016000") {
 		t.Errorf("got:\n%s", out)
+	}
+}
+
+func TestTrafficCSV(t *testing.T) {
+	stats := mpi.NewStats()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 0, make([]byte, 3)); err != nil {
+				return err
+			}
+			return c.Send(1, 1, make([]byte, 100))
+		}
+		if _, err := c.Recv(0, 0); err != nil {
+			return err
+		}
+		_, err := c.Recv(0, 1)
+		return err
+	}, mpi.WithStats(stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := TrafficCSV(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "src,dst,max_bytes,messages\n") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	// 3 B lands in the 4-byte bucket, 100 B in the 128-byte bucket.
+	for _, want := range []string{"0,1,4,1\n", "0,1,128,1\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("row %q missing:\n%s", want, out)
+		}
 	}
 }

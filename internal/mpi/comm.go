@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Comm is a communicator: an ordered group of processes with a private
@@ -45,6 +46,12 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	if t := c.world.tracer; t != nil {
+		t.Record(trace.Event{
+			Kind: trace.KindSend, Rank: c.members[c.rank], Ctx: c.ctx,
+			Peer: dst, Tag: tag, Bytes: len(data),
+		})
+	}
 	c.world.deliver(c.members[dst], c.members[c.rank],
 		message{ctx: c.ctx, src: c.rank, tag: tag, data: buf})
 	return nil
@@ -167,19 +174,28 @@ func (c *Comm) newCtx() (uint64, error) {
 	return ctx, nil
 }
 
-// Dup collectively duplicates the communicator with a fresh context.
+// Dup collectively duplicates the communicator with a fresh context. The
+// duplicate owns its member slice and carries a copy of the parent's info
+// (MPI_Comm_dup propagates info), so later mutations of either communicator
+// stay local to it.
 func (c *Comm) Dup() (*Comm, error) {
 	ctx, err := c.newCtx()
 	if err != nil {
 		return nil, err
 	}
-	return &Comm{world: c.world, ctx: ctx, members: c.members, rank: c.rank}, nil
+	members := make([]int, len(c.members))
+	copy(members, c.members)
+	c.world.registerComm(ctx, "dup", len(members))
+	c.traceComm(trace.KindCommDup, "dup", ctx, len(members))
+	return &Comm{world: c.world, ctx: ctx, members: members, rank: c.rank, info: c.info.clone()}, nil
 }
 
 // Split collectively partitions the communicator: processes with equal color
 // land in the same new communicator, ordered by (key, old rank). Every
 // member must call Split. A negative color yields a nil communicator for
-// that process (MPI_UNDEFINED behaviour).
+// that process (MPI_UNDEFINED behaviour). Each derived communicator carries
+// a copy of the parent's info, so per-communicator settings like
+// InfoTopoReorder survive the split.
 func (c *Comm) Split(color, key int) (*Comm, error) {
 	// Gather (color, key) pairs at rank 0, compute the grouping there and
 	// scatter each rank's (new size, new rank, member list).
@@ -272,7 +288,9 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	// Distinguish groups by their leader's world rank (stable and agreed
 	// upon by construction).
 	ctx := base + uint64(members[0])<<32
-	return &Comm{world: c.world, ctx: ctx, members: members, rank: newRank}, nil
+	c.world.registerComm(ctx, "split", len(members))
+	c.traceComm(trace.KindCommSplit, "split", ctx, len(members))
+	return &Comm{world: c.world, ctx: ctx, members: members, rank: newRank, info: c.info.clone()}, nil
 }
 
 // decodeInts decodes the little-endian int64 array payloads of Split.
@@ -293,7 +311,8 @@ func decodeInts(b []byte) []int {
 
 // Reorder collectively creates the reordered communicator of paper Section
 // IV: the process holding old comm rank m[j] acts as rank j in the new
-// communicator. All members must pass the same mapping.
+// communicator. All members must pass the same mapping. The reordered
+// communicator carries a copy of the parent's info.
 func (c *Comm) Reorder(m core.Mapping) (*Comm, error) {
 	if len(m) != len(c.members) {
 		return nil, fmt.Errorf("mpi: mapping over %d ranks for communicator of size %d", len(m), len(c.members))
@@ -316,5 +335,7 @@ func (c *Comm) Reorder(m core.Mapping) (*Comm, error) {
 	if newRank < 0 {
 		return nil, fmt.Errorf("mpi: rank %d missing from reorder mapping", c.rank)
 	}
-	return &Comm{world: c.world, ctx: ctx, members: members, rank: newRank}, nil
+	c.world.registerComm(ctx, "reorder", len(members))
+	c.traceComm(trace.KindCommReorder, "reorder", ctx, len(members))
+	return &Comm{world: c.world, ctx: ctx, members: members, rank: newRank, info: c.info.clone()}, nil
 }

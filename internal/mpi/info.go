@@ -11,6 +11,20 @@ type Info map[string]string
 // enabled.
 const InfoTopoReorder = "topo_reorder"
 
+// clone returns an independent copy of the info set (nil stays nil), so
+// derived communicators inherit their parent's keys without sharing the
+// map.
+func (in Info) clone() Info {
+	if in == nil {
+		return nil
+	}
+	out := make(Info, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
 // SetInfo attaches (or replaces) an info key on this process's view of the
 // communicator. Info is process-local state, as in MPI.
 func (c *Comm) SetInfo(key, value string) {

@@ -11,14 +11,24 @@
 // concurrency and real data movement, so the correctness-sensitive parts of
 // the design — in particular the output-buffer order preservation of paper
 // Section V-B — are genuinely exercised rather than assumed.
+//
+// Observability: WithTracer installs a trace.Recorder that captures every
+// send, delivery, receive match and receive block/unblock per rank (package
+// trace), and the watchdog that detects stuck worlds now produces a
+// blocked-rank report — every rank's pending receive plus the unmatched
+// messages sitting in its inbox — instead of a bare timeout.
 package mpi
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Errors returned by the runtime.
@@ -32,7 +42,7 @@ var (
 // message is one in-flight point-to-point message.
 type message struct {
 	ctx  uint64
-	src  int // world rank of the sender
+	src  int // communicator-local rank of the sender
 	tag  int
 	data []byte
 }
@@ -45,6 +55,19 @@ type proc struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	inbox []message
+
+	// Pending-receive bookkeeping for the deadlock report: valid while a
+	// Recv is blocked in await (guarded by mu).
+	waiting bool
+	waitCtx uint64
+	waitSrc int
+	waitTag int
+}
+
+// commDesc describes a registered communicator context for diagnostics.
+type commDesc struct {
+	kind string // "world", "dup", "split", "reorder"
+	size int
 }
 
 // World is a set of communicating processes. All processes share one
@@ -55,9 +78,14 @@ type World struct {
 	nextCtx atomic.Uint64
 	timeout time.Duration
 	stats   *Stats
+	tracer  *trace.Recorder
+
+	commMu sync.Mutex
+	comms  map[uint64]commDesc
 
 	deadMu sync.Mutex
 	dead   bool
+	report string // blocked-rank report built when the watchdog fires
 }
 
 // Option configures a World.
@@ -72,12 +100,14 @@ func WithTimeout(d time.Duration) Option {
 // Run spawns size processes, calls body once per rank with that rank's world
 // communicator, waits for all of them and returns the combined error (nil if
 // every rank succeeded). Panics inside a rank are recovered and reported as
-// that rank's error.
+// that rank's error. If the world deadline fires, the returned error carries
+// the watchdog's blocked-rank report naming every stuck receive and the
+// unmatched messages near it.
 func Run(size int, body func(c *Comm) error, opts ...Option) error {
 	if size <= 0 {
 		return fmt.Errorf("mpi: world size must be positive, got %d", size)
 	}
-	w := &World{size: size, timeout: 60 * time.Second}
+	w := &World{size: size, timeout: 60 * time.Second, comms: make(map[uint64]commDesc)}
 	for _, o := range opts {
 		o(w)
 	}
@@ -88,19 +118,11 @@ func Run(size int, body func(c *Comm) error, opts ...Option) error {
 		w.procs[r] = p
 	}
 	worldCtx := w.nextCtx.Add(1)
+	w.registerComm(worldCtx, "world", size)
 
 	var watchdog *time.Timer
 	if w.timeout > 0 {
-		watchdog = time.AfterFunc(w.timeout, func() {
-			w.deadMu.Lock()
-			w.dead = true
-			w.deadMu.Unlock()
-			for _, p := range w.procs {
-				p.mu.Lock()
-				p.cond.Broadcast()
-				p.mu.Unlock()
-			}
-		})
+		watchdog = time.AfterFunc(w.timeout, w.expire)
 		defer watchdog.Stop()
 	}
 
@@ -120,11 +142,143 @@ func Run(size int, body func(c *Comm) error, opts ...Option) error {
 				}
 			}()
 			c := &Comm{world: w, ctx: worldCtx, members: members, rank: rank}
+			if w.tracer != nil {
+				w.tracer.Record(trace.Event{
+					Kind: trace.KindCommCreate, Rank: rank, Ctx: worldCtx,
+					Peer: -1, Bytes: size, Name: "world",
+				})
+			}
 			errs[rank] = body(c)
 		}(r)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	err := errors.Join(errs...)
+	if err != nil {
+		if report := w.deadlockReport(); report != "" {
+			err = fmt.Errorf("%w\n%s", err, report)
+		}
+	}
+	return err
+}
+
+// expire is the watchdog body: it marks the world dead, snapshots every
+// rank's pending receive and unmatched inbox into the blocked-rank report,
+// and only then wakes the blocked receivers so they return ErrTimeout. The
+// report is therefore complete before any rank observes the timeout.
+func (w *World) expire() {
+	w.deadMu.Lock()
+	w.dead = true
+	w.deadMu.Unlock()
+	report := w.buildReport()
+	w.deadMu.Lock()
+	w.report = report
+	w.deadMu.Unlock()
+	for _, p := range w.procs {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// buildReport renders the blocked-rank report: one line per blocked rank
+// with its pending (src, tag, communicator) and a summary of the unmatched
+// messages sitting in its inbox — the near-miss tags that explain most
+// schedule bugs.
+func (w *World) buildReport() string {
+	var b strings.Builder
+	blocked := 0
+	for _, p := range w.procs {
+		p.mu.Lock()
+		if !p.waiting {
+			p.mu.Unlock()
+			continue
+		}
+		blocked++
+		fmt.Fprintf(&b, "  rank %d: awaiting (src=%d tag=%d) on %s",
+			p.rank, p.waitSrc, p.waitTag, w.describeCtx(p.waitCtx))
+		if len(p.inbox) == 0 {
+			b.WriteString("; inbox empty\n")
+			p.mu.Unlock()
+			continue
+		}
+		fmt.Fprintf(&b, "; inbox holds %d unmatched: %s\n",
+			len(p.inbox), summarizeInbox(p.inbox, w))
+		p.mu.Unlock()
+	}
+	if blocked == 0 {
+		return ""
+	}
+	return fmt.Sprintf("mpi: blocked-rank report (%d of %d ranks blocked in recv after %v):\n%s",
+		blocked, w.size, w.timeout, strings.TrimRight(b.String(), "\n"))
+}
+
+// summarizeInbox groups a rank's unmatched messages by (ctx, src, tag) and
+// renders at most eight groups, most messages first.
+func summarizeInbox(inbox []message, w *World) string {
+	type key struct {
+		ctx uint64
+		src int
+		tag int
+	}
+	counts := make(map[key]int)
+	bytes := make(map[key]int)
+	for _, m := range inbox {
+		k := key{m.ctx, m.src, m.tag}
+		counts[k]++
+		bytes[k] += len(m.data)
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].tag < keys[j].tag
+	})
+	const maxGroups = 8
+	parts := make([]string, 0, maxGroups+1)
+	for i, k := range keys {
+		if i == maxGroups {
+			parts = append(parts, fmt.Sprintf("… %d more groups", len(keys)-maxGroups))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("(src=%d tag=%d on %s: %d msg, %d B)",
+			k.src, k.tag, w.describeCtx(k.ctx), counts[k], bytes[k]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// deadlockReport returns the watchdog's blocked-rank report, or "" if the
+// deadline never fired or nothing was blocked.
+func (w *World) deadlockReport() string {
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	return w.report
+}
+
+// registerComm records a communicator context for diagnostics. Every member
+// registers the same description, so the write is idempotent.
+func (w *World) registerComm(ctx uint64, kind string, size int) {
+	w.commMu.Lock()
+	w.comms[ctx] = commDesc{kind: kind, size: size}
+	w.commMu.Unlock()
+}
+
+// describeCtx renders a communicator context for error messages: kind and
+// size when registered, the raw id otherwise.
+func (w *World) describeCtx(ctx uint64) string {
+	w.commMu.Lock()
+	d, ok := w.comms[ctx]
+	w.commMu.Unlock()
+	if !ok {
+		return fmt.Sprintf("ctx=%d", ctx)
+	}
+	return fmt.Sprintf("%s[size %d] ctx=%d", d.kind, d.size, ctx)
 }
 
 // expired reports whether the world deadline has passed.
@@ -141,6 +295,12 @@ func (w *World) deliver(dst, worldSrc int, m message) {
 	if w.stats != nil {
 		w.stats.record(worldSrc, dst, len(m.data))
 	}
+	if w.tracer != nil {
+		w.tracer.Record(trace.Event{
+			Kind: trace.KindDeliver, Rank: dst, Ctx: m.ctx,
+			Peer: m.src, Tag: m.tag, Bytes: len(m.data),
+		})
+	}
 	p := w.procs[dst]
 	p.mu.Lock()
 	p.inbox = append(p.inbox, m)
@@ -154,18 +314,46 @@ func (w *World) await(self int, ctx uint64, src, tag int) ([]byte, error) {
 	p := w.procs[self]
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	blocked := false
 	for {
 		for i := range p.inbox {
 			m := &p.inbox[i]
 			if m.ctx == ctx && m.src == src && m.tag == tag {
 				data := m.data
 				p.inbox = append(p.inbox[:i], p.inbox[i+1:]...)
+				if blocked {
+					p.waiting = false
+					if w.tracer != nil {
+						w.tracer.Record(trace.Event{
+							Kind: trace.KindRecvUnblock, Rank: self, Ctx: ctx,
+							Peer: src, Tag: tag, Bytes: len(data),
+						})
+					}
+				}
+				if w.tracer != nil {
+					w.tracer.Record(trace.Event{
+						Kind: trace.KindRecvMatch, Rank: self, Ctx: ctx,
+						Peer: src, Tag: tag, Bytes: len(data),
+					})
+				}
 				return data, nil
 			}
 		}
 		if w.expired() {
-			return nil, fmt.Errorf("mpi: rank %d waiting for (src=%d tag=%d ctx=%d): %w",
-				self, src, tag, ctx, ErrTimeout)
+			p.waiting = false
+			return nil, fmt.Errorf("mpi: rank %d blocked in recv (src=%d tag=%d) on %s after %v: %w",
+				self, src, tag, w.describeCtx(ctx), w.timeout, ErrTimeout)
+		}
+		if !blocked {
+			blocked = true
+			p.waiting = true
+			p.waitCtx, p.waitSrc, p.waitTag = ctx, src, tag
+			if w.tracer != nil {
+				w.tracer.Record(trace.Event{
+					Kind: trace.KindRecvBlock, Rank: self, Ctx: ctx,
+					Peer: src, Tag: tag,
+				})
+			}
 		}
 		p.cond.Wait()
 	}

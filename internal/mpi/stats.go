@@ -10,6 +10,9 @@ type Stats struct {
 	mu       sync.Mutex
 	messages map[[2]int]int64
 	bytes    map[[2]int]int64
+	// hist buckets message counts per pair by payload size: the inner map
+	// is keyed by SizeBucket(payload).
+	hist map[[2]int]map[int]int64
 }
 
 // NewStats returns an empty collector.
@@ -17,7 +20,22 @@ func NewStats() *Stats {
 	return &Stats{
 		messages: make(map[[2]int]int64),
 		bytes:    make(map[[2]int]int64),
+		hist:     make(map[[2]int]map[int]int64),
 	}
+}
+
+// SizeBucket returns the histogram bucket a payload of n bytes falls into,
+// identified by the bucket's inclusive upper bound: 0 for empty messages,
+// otherwise the smallest power of two >= n.
+func SizeBucket(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	return b
 }
 
 // record accumulates one delivery.
@@ -26,6 +44,12 @@ func (s *Stats) record(src, dst, payload int) {
 	s.mu.Lock()
 	s.messages[key]++
 	s.bytes[key] += int64(payload)
+	h := s.hist[key]
+	if h == nil {
+		h = make(map[int]int64)
+		s.hist[key] = h
+	}
+	h[SizeBucket(payload)]++
 	s.mu.Unlock()
 }
 
@@ -63,6 +87,40 @@ func (s *Stats) TotalBytes() int64 {
 		n += v
 	}
 	return n
+}
+
+// SizeHistogram returns a copy of the message-size histogram for the
+// src->dst pair: bucket upper bound (see SizeBucket) -> message count. The
+// result is nil when the pair never communicated.
+func (s *Stats) SizeHistogram(src, dst int) map[int]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hist[[2]int{src, dst}]
+	if h == nil {
+		return nil
+	}
+	out := make(map[int]int64, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// PairHistograms returns a copy of every pair's message-size histogram —
+// the observed-traffic matrix that experiment CSVs cross-validate the
+// simnet model against.
+func (s *Stats) PairHistograms() map[[2]int]map[int]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[[2]int]map[int]int64, len(s.hist))
+	for pair, h := range s.hist {
+		hc := make(map[int]int64, len(h))
+		for k, v := range h {
+			hc[k] = v
+		}
+		out[pair] = hc
+	}
+	return out
 }
 
 // PairBytes returns a copy of the per-pair byte matrix.

@@ -1,0 +1,64 @@
+package mpi
+
+import "repro/internal/trace"
+
+// WithTracer installs an event recorder on the world: every send, delivery,
+// receive match and receive block/unblock is recorded on its rank's
+// timeline, along with communicator lifecycle events and the collective
+// annotations made through TraceEnter/TraceExit/TracePoint. The recorder
+// must not be shared between concurrently running worlds. Without this
+// option every trace hook is a nil check, so an untraced world pays
+// nothing.
+func WithTracer(r *trace.Recorder) Option {
+	return func(w *World) { w.tracer = r }
+}
+
+// Tracing reports whether a tracer is installed on the communicator's
+// world. Callers that build annotation labels dynamically should check it
+// first so that disabled tracing costs no allocations.
+func (c *Comm) Tracing() bool { return c.world.tracer != nil }
+
+// TraceEnter marks the start of a named collective (or collective phase) on
+// the calling rank's timeline. Pair it with TraceExit; the Chrome exporter
+// renders the pair as a duration slice. No-op when tracing is disabled.
+func (c *Comm) TraceEnter(name string) {
+	if t := c.world.tracer; t != nil {
+		t.Record(trace.Event{
+			Kind: trace.KindCollectiveEnter, Rank: c.WorldRank(), Ctx: c.ctx,
+			Peer: -1, Name: name,
+		})
+	}
+}
+
+// TraceExit marks the end of the named collective or phase opened by
+// TraceEnter.
+func (c *Comm) TraceExit(name string) {
+	if t := c.world.tracer; t != nil {
+		t.Record(trace.Event{
+			Kind: trace.KindCollectiveExit, Rank: c.WorldRank(), Ctx: c.ctx,
+			Peer: -1, Name: name,
+		})
+	}
+}
+
+// TracePoint records an instant annotation (e.g. one stage of a ring) on
+// the calling rank's timeline.
+func (c *Comm) TracePoint(name string) {
+	if t := c.world.tracer; t != nil {
+		t.Record(trace.Event{
+			Kind: trace.KindPoint, Rank: c.WorldRank(), Ctx: c.ctx,
+			Peer: -1, Name: name,
+		})
+	}
+}
+
+// traceComm records a communicator lifecycle event (dup/split/reorder) on
+// the calling rank's timeline.
+func (c *Comm) traceComm(kind trace.Kind, name string, ctx uint64, size int) {
+	if t := c.world.tracer; t != nil {
+		t.Record(trace.Event{
+			Kind: kind, Rank: c.WorldRank(), Ctx: ctx,
+			Peer: -1, Bytes: size, Name: name,
+		})
+	}
+}

@@ -60,8 +60,9 @@ type RuntimeResult struct {
 // MeasureRuntime times the real goroutine runtime performing an allgather of
 // msgBytes per process over p ranks with the given algorithm, averaging
 // iters iterations after warmup. It returns the average latency observed by
-// rank 0.
-func MeasureRuntime(p, msgBytes int, alg collective.Algorithm, warmup, iters int) (RuntimeResult, error) {
+// rank 0. Extra world options (mpi.WithTracer, mpi.WithStats, ...) are
+// passed through to the measured world.
+func MeasureRuntime(p, msgBytes int, alg collective.Algorithm, warmup, iters int, opts ...mpi.Option) (RuntimeResult, error) {
 	if iters <= 0 {
 		return RuntimeResult{}, fmt.Errorf("osu: iterations must be positive")
 	}
@@ -93,7 +94,7 @@ func MeasureRuntime(p, msgBytes int, alg collective.Algorithm, warmup, iters int
 			avg = time.Since(start) / time.Duration(iters)
 		}
 		return nil
-	})
+	}, opts...)
 	if err != nil {
 		return RuntimeResult{}, err
 	}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto). Ranks map to thread ids inside one process,
+// so the viewer shows one horizontal track per rank.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level export document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recording as Chrome trace-event JSON. Paired
+// events become duration slices on their rank's track: collective
+// enter/exit bracket algorithm phases, and a recv-block with its
+// recv-unblock becomes a "recv-wait" slice showing exactly where a rank sat
+// blocked. Everything else is an instant event carrying its (src/dst, tag,
+// bytes, ctx) as args.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for rank := 0; rank < r.Ranks(); rank++ {
+		for _, e := range r.Events(rank) {
+			ce := chromeEvent{
+				TS:  float64(e.When.Nanoseconds()) / 1e3,
+				PID: 0,
+				TID: e.Rank,
+			}
+			args := map[string]any{"ctx": e.Ctx}
+			switch e.Kind {
+			case KindSend:
+				ce.Name = fmt.Sprintf("send tag=%d", e.Tag)
+				ce.Phase, ce.Scope = "i", "t"
+				args["dst"] = e.Peer
+				args["tag"] = e.Tag
+				args["bytes"] = e.Bytes
+			case KindDeliver:
+				ce.Name = fmt.Sprintf("deliver tag=%d", e.Tag)
+				ce.Phase, ce.Scope = "i", "t"
+				args["src"] = e.Peer
+				args["tag"] = e.Tag
+				args["bytes"] = e.Bytes
+			case KindRecvMatch:
+				ce.Name = fmt.Sprintf("recv tag=%d", e.Tag)
+				ce.Phase, ce.Scope = "i", "t"
+				args["src"] = e.Peer
+				args["tag"] = e.Tag
+				args["bytes"] = e.Bytes
+			case KindRecvBlock:
+				ce.Name = fmt.Sprintf("recv-wait src=%d tag=%d", e.Peer, e.Tag)
+				ce.Phase = "B"
+				args["src"] = e.Peer
+				args["tag"] = e.Tag
+			case KindRecvUnblock:
+				ce.Name = fmt.Sprintf("recv-wait src=%d tag=%d", e.Peer, e.Tag)
+				ce.Phase = "E"
+			case KindCollectiveEnter:
+				ce.Name = e.Name
+				ce.Phase = "B"
+			case KindCollectiveExit:
+				ce.Name = e.Name
+				ce.Phase = "E"
+			case KindPoint:
+				ce.Name = e.Name
+				ce.Phase, ce.Scope = "i", "t"
+			case KindCommCreate, KindCommDup, KindCommSplit, KindCommReorder:
+				ce.Name = fmt.Sprintf("%v %s", e.Kind, e.Name)
+				ce.Phase, ce.Scope = "i", "t"
+				args["size"] = e.Bytes
+			default:
+				ce.Name = e.Kind.String()
+				ce.Phase, ce.Scope = "i", "t"
+			}
+			ce.Args = args
+			doc.TraceEvents = append(doc.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteChromeTraceFile exports the recording to path, creating or
+// truncating it.
+func WriteChromeTraceFile(path string, r *Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := WriteChromeTrace(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,223 @@
+// Package trace is the observability layer of the message-passing runtime:
+// a low-overhead per-rank event recorder that captures what actually moved,
+// when, and where it stalled. The mpi runtime emits point-to-point events
+// (send, deliver, receive match/block/unblock) and communicator lifecycle
+// events; package collective annotates its algorithms and phases on top of
+// them. The recording can be exported as Chrome trace-event JSON (see
+// chrome.go) and loaded into chrome://tracing or Perfetto for a per-rank
+// timeline of a run.
+//
+// The recorder is sharded per rank: every rank appends to its own buffer
+// under its own lock, so tracing a p-rank world adds no cross-rank
+// contention beyond what the runtime's own inboxes already have. A nil
+// *Recorder is valid and records nothing, so call sites need no guards.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// KindSend marks a point-to-point send being issued (recorded on the
+	// sender's timeline).
+	KindSend Kind = iota
+	// KindDeliver marks a message landing in a rank's inbox (recorded on
+	// the receiver's timeline, at delivery time).
+	KindDeliver
+	// KindRecvMatch marks a receive finding its message.
+	KindRecvMatch
+	// KindRecvBlock marks a receive starting to wait for a message that has
+	// not arrived.
+	KindRecvBlock
+	// KindRecvUnblock marks a blocked receive waking up with its message.
+	KindRecvUnblock
+	// KindCollectiveEnter and KindCollectiveExit bracket a collective
+	// algorithm or one of its phases; Name carries the label.
+	KindCollectiveEnter
+	KindCollectiveExit
+	// KindPoint is a generic instant annotation (e.g. a collective stage).
+	KindPoint
+	// KindCommCreate, KindCommDup, KindCommSplit and KindCommReorder record
+	// communicator lifecycle; Name carries the communicator kind and Bytes
+	// its size.
+	KindCommCreate
+	KindCommDup
+	KindCommSplit
+	KindCommReorder
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindDeliver:
+		return "deliver"
+	case KindRecvMatch:
+		return "recv-match"
+	case KindRecvBlock:
+		return "recv-block"
+	case KindRecvUnblock:
+		return "recv-unblock"
+	case KindCollectiveEnter:
+		return "collective-enter"
+	case KindCollectiveExit:
+		return "collective-exit"
+	case KindPoint:
+		return "point"
+	case KindCommCreate:
+		return "comm-create"
+	case KindCommDup:
+		return "comm-dup"
+	case KindCommSplit:
+		return "comm-split"
+	case KindCommReorder:
+		return "comm-reorder"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence on a rank's timeline.
+type Event struct {
+	Kind Kind
+	// When is the offset from the recorder's start.
+	When time.Duration
+	// Rank is the world rank whose timeline the event belongs to.
+	Rank int
+	// Ctx is the communicator context the event happened on (0 when not
+	// applicable).
+	Ctx uint64
+	// Peer is the communicator-local peer rank: destination for sends,
+	// source for deliveries and receives (-1 when not applicable).
+	Peer int
+	// Tag is the message tag (0 when not applicable).
+	Tag int
+	// Bytes is the payload size for message events and the communicator
+	// size for lifecycle events.
+	Bytes int
+	// Name labels collective and lifecycle events.
+	Name string
+}
+
+// shard is one rank's buffer. Events for a rank may be appended by other
+// goroutines (a sender records the delivery on the receiver's timeline), so
+// each shard carries its own lock.
+type shard struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Recorder collects events for the ranks of one world. Install it with
+// mpi.WithTracer; it must not be shared between concurrently running worlds.
+type Recorder struct {
+	start time.Time
+
+	mu     sync.Mutex // guards shards growth
+	shards []*shard
+}
+
+// NewRecorder returns an empty recorder; timestamps are offsets from this
+// call.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// shardFor returns rank's buffer, growing the shard table on first use.
+func (r *Recorder) shardFor(rank int) *shard {
+	r.mu.Lock()
+	for len(r.shards) <= rank {
+		r.shards = append(r.shards, &shard{})
+	}
+	s := r.shards[rank]
+	r.mu.Unlock()
+	return s
+}
+
+// Record appends an event to its rank's timeline, stamping it with the
+// current offset. It is safe for concurrent use and a no-op on a nil
+// recorder.
+func (r *Recorder) Record(e Event) {
+	if r == nil || e.Rank < 0 {
+		return
+	}
+	e.When = time.Since(r.start)
+	s := r.shardFor(e.Rank)
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Ranks returns the number of rank timelines touched so far.
+func (r *Recorder) Ranks() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.shards)
+}
+
+// Events returns a copy of rank's timeline in recording order.
+func (r *Recorder) Events(rank int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if rank < 0 || rank >= len(r.shards) {
+		r.mu.Unlock()
+		return nil
+	}
+	s := r.shards[rank]
+	r.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// All returns every rank's timeline concatenated in rank order.
+func (r *Recorder) All() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for rank := 0; rank < r.Ranks(); rank++ {
+		out = append(out, r.Events(rank)...)
+	}
+	return out
+}
+
+// Len returns the total number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for rank := 0; rank < r.Ranks(); rank++ {
+		r.mu.Lock()
+		s := r.shards[rank]
+		r.mu.Unlock()
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Count returns the number of events of the given kind across all ranks.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for _, e := range r.All() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

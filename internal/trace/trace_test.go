@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindSend, Rank: 0})
+	if r.Ranks() != 0 || r.Len() != 0 || r.Events(0) != nil || r.All() != nil {
+		t.Error("nil recorder not inert")
+	}
+}
+
+func TestRecordPerRankOrder(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: KindSend, Rank: 0, Peer: 1, Tag: 7, Bytes: 5})
+	r.Record(Event{Kind: KindDeliver, Rank: 1, Peer: 0, Tag: 7, Bytes: 5})
+	r.Record(Event{Kind: KindRecvMatch, Rank: 1, Peer: 0, Tag: 7, Bytes: 5})
+	if r.Ranks() != 2 {
+		t.Fatalf("Ranks() = %d, want 2", r.Ranks())
+	}
+	if got := r.Events(0); len(got) != 1 || got[0].Kind != KindSend {
+		t.Errorf("rank 0 events = %+v", got)
+	}
+	got := r.Events(1)
+	if len(got) != 2 || got[0].Kind != KindDeliver || got[1].Kind != KindRecvMatch {
+		t.Errorf("rank 1 events = %+v", got)
+	}
+	if got[1].When < got[0].When {
+		t.Error("timestamps not monotone within a rank")
+	}
+	if r.Len() != 3 || len(r.All()) != 3 {
+		t.Errorf("Len=%d All=%d, want 3", r.Len(), len(r.All()))
+	}
+	if r.Count(KindSend) != 1 || r.Count(KindRecvBlock) != 0 {
+		t.Error("Count wrong")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: KindSend, Rank: 0, Tag: 1})
+	ev := r.Events(0)
+	ev[0].Tag = 99
+	if r.Events(0)[0].Tag != 1 {
+		t.Error("Events aliased internal buffer")
+	}
+	if r.Events(-1) != nil || r.Events(7) != nil {
+		t.Error("out-of-range rank returned events")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	const ranks, per = 16, 200
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Half the events target the rank's own timeline, half a
+				// peer's — the cross-timeline append the runtime does when
+				// a sender records a delivery.
+				r.Record(Event{Kind: KindSend, Rank: rank, Tag: i})
+				r.Record(Event{Kind: KindDeliver, Rank: (rank + 1) % ranks, Tag: i})
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if r.Len() != ranks*per*2 {
+		t.Errorf("Len = %d, want %d", r.Len(), ranks*per*2)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindSend; k <= KindCommReorder; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Errorf("Kind(%d) has no name: %q", k, s)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error("unknown kind fallback wrong")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: KindCommCreate, Rank: 0, Ctx: 1, Bytes: 2, Name: "world"})
+	r.Record(Event{Kind: KindCollectiveEnter, Rank: 0, Ctx: 1, Name: "allgather/ring"})
+	r.Record(Event{Kind: KindSend, Rank: 0, Ctx: 1, Peer: 1, Tag: 3, Bytes: 8})
+	r.Record(Event{Kind: KindRecvBlock, Rank: 0, Ctx: 1, Peer: 1, Tag: 4})
+	r.Record(Event{Kind: KindRecvUnblock, Rank: 0, Ctx: 1, Peer: 1, Tag: 4})
+	r.Record(Event{Kind: KindRecvMatch, Rank: 0, Ctx: 1, Peer: 1, Tag: 4, Bytes: 8})
+	r.Record(Event{Kind: KindCollectiveExit, Rank: 0, Ctx: 1, Name: "allgather/ring"})
+	r.Record(Event{Kind: KindPoint, Rank: 1, Ctx: 1, Name: "ring stage 0"})
+	r.Record(Event{Kind: KindDeliver, Rank: 1, Ctx: 1, Peer: 0, Tag: 3, Bytes: 8})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != r.Len() {
+		t.Fatalf("exported %d events, recorded %d", len(doc.TraceEvents), r.Len())
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		if _, ok := e["tid"].(float64); !ok {
+			t.Fatalf("event missing tid: %v", e)
+		}
+	}
+	// Two B/E pairs: the collective slice and the recv-wait slice.
+	if phases["B"] != 2 || phases["E"] != 2 {
+		t.Errorf("B/E phases = %d/%d, want 2/2", phases["B"], phases["E"])
+	}
+	if phases["i"] != r.Len()-4 {
+		t.Errorf("instant events = %d, want %d", phases["i"], r.Len()-4)
+	}
+}
+
+func TestWriteChromeTraceFile(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: KindSend, Rank: 0, Peer: 1, Tag: 1, Bytes: 4})
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteChromeTraceFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Error("file is not valid JSON")
+	}
+	if err := WriteChromeTraceFile(filepath.Join(t.TempDir(), "no", "such", "dir.json"), r); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
