@@ -1,0 +1,89 @@
+// Command mapd serves topology-aware rank mappings over HTTP. A POST to
+// /map with a topology, a communication pattern and a heuristic selector
+// answers with the rank permutation, the modelled default/reordered latency
+// per message size and the adaptive-routing decision; /stats exposes the
+// service counters and /healthz liveness.
+//
+// Usage:
+//
+//	mapd -addr :7117
+//	mapd -addr 127.0.0.1:7117 -workers 8 -cache 1024 -timeout 5s
+//
+//	curl -s localhost:7117/map -d '{
+//	  "topology": {"preset": "gpc"},
+//	  "pattern":  {"name": "recursive-doubling"},
+//	  "heuristic": "auto",
+//	  "sizes": [1024, 65536]
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":7117", "listen address")
+	workers := flag.Int("workers", 0, "concurrent mapping computations (0: one per CPU)")
+	cacheEntries := flag.Int("cache", 512, "result-cache capacity (entries)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, service.Config{
+		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}, log.New(os.Stderr, "mapd: ", log.LstdFlags)); err != nil {
+		fmt.Fprintln(os.Stderr, "mapd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then shuts down gracefully: the
+// listener closes, in-flight requests finish (bounded by their own
+// deadlines) and the worker pool drains.
+func run(ctx context.Context, addr string, cfg service.Config, logger *log.Logger) error {
+	svc := service.New(cfg)
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	logger.Printf("serving on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.MaxTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

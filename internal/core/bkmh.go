@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/topology"
+import (
+	"context"
+
+	"repro/internal/topology"
+)
 
 // BKMH is a mapping heuristic for the Bruck allgather communication pattern
 // — the paper's first future-work item ("we intend to extend our heuristics
@@ -15,10 +19,16 @@ import "repro/internal/topology"
 // reference core as close to it as possible and advancing the reference
 // after every two placements, exactly mirroring Algorithm 2's structure.
 func BKMH(d *topology.Distances, opts *Options) (Mapping, error) {
+	return BKMHContext(nil, d, opts)
+}
+
+// BKMHContext is BKMH with context cancellation checked on every placement.
+func BKMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	mp.ctx = ctx
 	p := d.N()
 	refUpdate := opts.rdmhRefUpdate()
 	top := prevPow2(p)
@@ -26,6 +36,9 @@ func BKMH(d *topology.Distances, opts *Options) (Mapping, error) {
 	i := top
 	placedAtRef := 0
 	for mp.left > 0 {
+		if err := mp.cancelled(); err != nil {
+			return nil, err
+		}
 		for i > 0 && mp.mapped((ref+i)%p) {
 			i >>= 1
 		}

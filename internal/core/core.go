@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -124,6 +125,13 @@ func (o *Options) rdmhRefUpdate() int {
 // rank), produce the rank reordering.
 type Heuristic func(d *topology.Distances, opts *Options) (Mapping, error)
 
+// ContextHeuristic is a Heuristic whose traversal loop honours context
+// cancellation: when ctx is cancelled or its deadline passes, the heuristic
+// returns ctx's error promptly instead of completing the mapping. A nil
+// context disables the checks, making the function equivalent to its plain
+// Heuristic counterpart.
+type ContextHeuristic func(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error)
+
 // mapper carries the shared state of Algorithm 1. Free slots live in a
 // compact list so that every find-closest scan touches only the slots that
 // are still available; the list shrinks as the mapping fills, halving the
@@ -134,6 +142,22 @@ type mapper struct {
 	freeList []int32 // slots not yet assigned, unordered
 	left     int     // number of unmapped ranks
 	rnd      *rand.Rand
+	ctx      context.Context // nil when cancellation is disabled
+}
+
+// cancelled reports the mapper's context error, if any. Heuristic loops call
+// it once per placement: each placement already scans the free list, so the
+// check adds a negligible constant to superlinear work while bounding the
+// latency between a cancellation and the loop noticing it.
+func (mp *mapper) cancelled() error {
+	if mp.ctx == nil {
+		return nil
+	}
+	if err := mp.ctx.Err(); err != nil {
+		return fmt.Errorf("core: mapping interrupted with %d of %d ranks placed: %w",
+			len(mp.m)-mp.left, len(mp.m), err)
+	}
+	return nil
 }
 
 func newMapper(d *topology.Distances, opts *Options) (*mapper, error) {
@@ -228,16 +252,25 @@ func (mp *mapper) placeNear(rank, refRank int) {
 // counts RDMH still produces a valid total mapping by skipping partners
 // beyond p-1 (matching how MPI libraries fall back in that regime).
 func RDMH(d *topology.Distances, opts *Options) (Mapping, error) {
+	return RDMHContext(nil, d, opts)
+}
+
+// RDMHContext is RDMH with context cancellation checked on every placement.
+func RDMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	mp.ctx = ctx
 	p := d.N()
 	refUpdate := opts.rdmhRefUpdate()
 	ref := 0         // reference core, as a rank
 	i := prevPow2(p) // current stage mask, starting from the last stage
 	placedAtRef := 0 // processes mapped with respect to ref so far
 	for mp.left > 0 {
+		if err := mp.cancelled(); err != nil {
+			return nil, err
+		}
 		// Select the new process: the partner of ref in the furthest
 		// not-yet-mapped stage (Algorithm 2 lines 5–8).
 		for i > 0 && (ref^i >= p || mp.mapped(ref^i)) {
@@ -287,13 +320,22 @@ func (mp *mapper) refWithFreePartner(p int) (ref, mask int) {
 // mapped as close as possible to its ring predecessor, which becomes the new
 // reference core.
 func RMH(d *topology.Distances, opts *Options) (Mapping, error) {
+	return RMHContext(nil, d, opts)
+}
+
+// RMHContext is RMH with context cancellation checked on every placement.
+func RMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	mp.ctx = ctx
 	p := d.N()
 	ref := 0
 	for mp.left > 0 {
+		if err := mp.cancelled(); err != nil {
+			return nil, err
+		}
 		newRank := (ref + 1) % p
 		mp.placeNear(newRank, ref)
 		ref = newRank
@@ -311,6 +353,11 @@ func BBMH(d *topology.Distances, opts *Options) (Mapping, error) {
 	return BBMHWithTraversal(d, opts, SmallerSubtreeFirst)
 }
 
+// BBMHContext is BBMH with context cancellation checked on every placement.
+func BBMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
+	return BBMHWithTraversalContext(ctx, d, opts, SmallerSubtreeFirst)
+}
+
 // BGMH is the mapping heuristic for the binomial gather communication
 // pattern (paper Algorithm 5). Message sizes grow toward the root of the
 // gather tree, so the heuristic repeatedly takes the heaviest remaining tree
@@ -318,10 +365,16 @@ func BBMH(d *topology.Distances, opts *Options) (Mapping, error) {
 // maps its unmapped endpoint as close as possible to the mapped one. Every
 // newly mapped rank joins the set of potential reference cores.
 func BGMH(d *topology.Distances, opts *Options) (Mapping, error) {
+	return BGMHContext(nil, d, opts)
+}
+
+// BGMHContext is BGMH with context cancellation checked on every placement.
+func BGMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	mp.ctx = ctx
 	p := d.N()
 	refs := make([]int, 0, p)
 	refs = append(refs, 0)
@@ -331,6 +384,9 @@ func BGMH(d *topology.Distances, opts *Options) (Mapping, error) {
 		// weight i·m, the heaviest not yet mapped.
 		bound := len(refs)
 		for k := 0; k < bound; k++ {
+			if err := mp.cancelled(); err != nil {
+				return nil, err
+			}
 			ref := refs[k]
 			newRank := ref + i
 			if newRank >= p {

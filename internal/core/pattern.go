@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
 
 // Pattern names the collective communication patterns for which fine-tuned
 // mapping heuristics exist (paper Section V-A). The pattern is derived from
@@ -57,4 +61,43 @@ func (p Pattern) Heuristic() Heuristic {
 	default:
 		return nil
 	}
+}
+
+// ContextHeuristic returns the cancellable variant of the pattern's
+// fine-tuned mapping heuristic.
+func (p Pattern) ContextHeuristic() ContextHeuristic {
+	switch p {
+	case RecursiveDoubling:
+		return RDMHContext
+	case Ring:
+		return RMHContext
+	case BinomialBroadcast:
+		return BBMHContext
+	case BinomialGather:
+		return BGMHContext
+	default:
+		return nil
+	}
+}
+
+// ParsePattern returns the pattern whose String() form is name.
+func ParsePattern(name string) (Pattern, error) {
+	for _, p := range Patterns {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown pattern %q", name)
+}
+
+// Fingerprint returns a stable content hash of the pattern identity, for use
+// in content-addressed cache keys. The value is a pure function of the
+// pattern's canonical name, so it survives renumbering of the Pattern
+// constants; changing it breaks persisted caches and is guarded by a
+// regression test.
+func (p Pattern) Fingerprint() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, "core.Pattern\x00")
+	io.WriteString(h, p.String())
+	return h.Sum64()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/topology"
@@ -42,15 +43,22 @@ func (t Traversal) String() string {
 // BBMHWithTraversal is BBMH with a selectable tree traversal order. BBMH
 // itself is BBMHWithTraversal(..., SmallerSubtreeFirst).
 func BBMHWithTraversal(d *topology.Distances, opts *Options, tr Traversal) (Mapping, error) {
+	return BBMHWithTraversalContext(nil, d, opts, tr)
+}
+
+// BBMHWithTraversalContext is BBMHWithTraversal with context cancellation
+// checked on every placement.
+func BBMHWithTraversalContext(ctx context.Context, d *topology.Distances, opts *Options, tr Traversal) (Mapping, error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	mp.ctx = ctx
 	p := d.N()
 	switch tr {
 	case SmallerSubtreeFirst, LargerSubtreeFirst:
-		var rec func(r, span int)
-		rec = func(r, span int) {
+		var rec func(r, span int) error
+		rec = func(r, span int) error {
 			// Valid child offsets of r: powers of two below span.
 			offs := make([]int, 0, 32)
 			for i := 1; i < span && r&i == 0; i <<= 1 {
@@ -64,19 +72,30 @@ func BBMHWithTraversal(d *topology.Distances, opts *Options, tr Traversal) (Mapp
 				}
 			}
 			for _, i := range offs {
+				if err := mp.cancelled(); err != nil {
+					return err
+				}
 				child := r + i
 				mp.placeNear(child, r)
-				rec(child, i)
+				if err := rec(child, i); err != nil {
+					return err
+				}
 			}
+			return nil
 		}
 		span := 1
 		for span < p {
 			span <<= 1
 		}
-		rec(0, span)
+		if err := rec(0, span); err != nil {
+			return nil, err
+		}
 	case BreadthFirst:
 		queue := []int{0}
 		for len(queue) > 0 {
+			if err := mp.cancelled(); err != nil {
+				return nil, err
+			}
 			r := queue[0]
 			queue = queue[1:]
 			for i := 1; i < p && r&i == 0; i <<= 1 {

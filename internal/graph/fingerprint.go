@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Fingerprint returns a stable content hash of the graph: vertex count plus
+// every (vertex, neighbour, weight) triple with neighbours in sorted order,
+// so that insertion order does not affect the hash. Two graphs fingerprint
+// equal exactly when they describe the same weighted adjacency structure.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, "graph.Graph")
+	h.Write([]byte{0})
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(int64(g.n))
+	edges := make([]Edge, 0, 16)
+	for u := 0; u < g.n; u++ {
+		edges = append(edges[:0], g.adj[u]...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].To < edges[j].To })
+		writeInt(int64(len(edges)))
+		for _, e := range edges {
+			writeInt(int64(e.To))
+			writeInt(e.W)
+		}
+	}
+	return h.Sum64()
+}

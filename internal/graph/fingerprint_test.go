@@ -1,0 +1,31 @@
+package graph
+
+import "testing"
+
+func TestGraphFingerprint(t *testing.T) {
+	mk := func(edges [][3]int) *Graph {
+		g := New(4)
+		for _, e := range edges {
+			if err := g.AddEdge(e[0], e[1], int64(e[2])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	a := mk([][3]int{{0, 1, 2}, {1, 2, 3}, {2, 3, 1}})
+	b := mk([][3]int{{2, 3, 1}, {0, 1, 2}, {1, 2, 3}}) // same edges, shuffled insertion
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("insertion order changed the fingerprint")
+	}
+	c := mk([][3]int{{0, 1, 2}, {1, 2, 3}, {2, 3, 2}}) // one weight differs
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("weight change did not change the fingerprint")
+	}
+	d := mk([][3]int{{0, 1, 2}, {1, 2, 3}, {1, 3, 1}}) // one endpoint differs
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("edge rewiring did not change the fingerprint")
+	}
+	if New(3).Fingerprint() == New(4).Fingerprint() {
+		t.Error("vertex count not covered by the fingerprint")
+	}
+}

@@ -12,6 +12,7 @@
 package scotch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,6 +35,13 @@ type Options struct {
 // The guest graph and host must have the same cardinality (one process per
 // core, as in the paper's dedicated allocations).
 func Map(guest *graph.Graph, d *topology.Distances, opts *Options) (core.Mapping, error) {
+	return MapContext(nil, guest, d, opts)
+}
+
+// MapContext is Map with context cancellation checked at every level of the
+// dual recursive bipartitioning, so a deadline interrupts the mapper between
+// bisections. A nil context disables the checks.
+func MapContext(ctx context.Context, guest *graph.Graph, d *topology.Distances, opts *Options) (core.Mapping, error) {
 	if guest == nil || d == nil {
 		return nil, fmt.Errorf("scotch: nil guest or host")
 	}
@@ -54,28 +62,37 @@ func Map(guest *graph.Graph, d *topology.Distances, opts *Options) (core.Mapping
 	for i := 0; i < n; i++ {
 		verts[i], slots[i] = i, i
 	}
-	mapRec(guest, d, verts, slots, m, bopt)
+	if err := mapRec(ctx, guest, d, verts, slots, m, bopt); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
 // mapRec performs one level of dual recursive bipartitioning: split the host
 // slots into two physically cohesive halves, split the guest vertices into
 // matching-size halves of minimal cut weight, pair them up and recurse.
-func mapRec(guest *graph.Graph, d *topology.Distances, verts, slots []int, m core.Mapping, bopt graph.BisectOptions) {
+func mapRec(ctx context.Context, guest *graph.Graph, d *topology.Distances, verts, slots []int, m core.Mapping, bopt graph.BisectOptions) error {
 	if len(verts) != len(slots) {
 		panic("scotch: internal imbalance between guest and host halves")
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("scotch: mapping interrupted: %w", err)
+		}
+	}
 	switch len(verts) {
 	case 0:
-		return
+		return nil
 	case 1:
 		m[verts[0]] = slots[0]
-		return
+		return nil
 	}
 	h0, h1 := bisectHost(d, slots)
 	g0, g1 := graph.Bisect(guest, verts, len(h0), bopt)
-	mapRec(guest, d, g0, h0, m, bopt)
-	mapRec(guest, d, g1, h1, m, bopt)
+	if err := mapRec(ctx, guest, d, g0, h0, m, bopt); err != nil {
+		return err
+	}
+	return mapRec(ctx, guest, d, g1, h1, m, bopt)
 }
 
 // bisectHost splits a slot set into two halves that are physically cohesive:

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+func benchRequest(size int) *Request {
+	return &Request{
+		Topology: TopologySpec{Nodes: 8, SocketsPerNode: 2, CoresPerSocket: 4},
+		Pattern:  PatternSpec{Name: "recursive-doubling"},
+		Sizes:    []int{size},
+	}
+}
+
+// BenchmarkServiceRequest measures the two ends of the service: cold (every
+// iteration a distinct key, full heuristic + pricing computation) and warm
+// (one key, answered from the content-addressed cache).
+func BenchmarkServiceRequest(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		s := New(Config{Workers: 4, CacheEntries: 1})
+		defer s.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// i+1 distinct bytes per iteration: never the same content hash.
+			if _, err := s.Compute(context.Background(), benchRequest(i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := New(Config{Workers: 4, CacheEntries: 16})
+		defer s.Close()
+		if _, err := s.Compute(context.Background(), benchRequest(1024)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := s.Compute(context.Background(), benchRequest(1024))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("warm request missed the cache")
+			}
+		}
+	})
+	b.Run("warm-parallel", func(b *testing.B) {
+		s := New(Config{Workers: 4, CacheEntries: 16})
+		defer s.Close()
+		if _, err := s.Compute(context.Background(), benchRequest(1024)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := s.Compute(context.Background(), benchRequest(1024)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler exposes the service over HTTP:
+//
+//	POST /map     — body: Request JSON; reply: Response JSON
+//	GET  /stats   — service counters (Stats JSON)
+//	GET  /healthz — liveness probe
+//
+// Invalid requests answer 400 with {"error": "..."}; a deadline never turns
+// into an error status — it degrades inside a 200 response.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/map", s.handleMap)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}` + "\n"))
+	})
+	return mux
+}
+
+func (s *Service) handleMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Compute(r.Context(), &req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// workerPool shards request computations across a fixed set of goroutines,
+// bounding the CPU parallelism of the service regardless of how many HTTP
+// connections are open. Submission blocks until a worker is free or the
+// caller's context expires, so queue pressure surfaces as a deadline
+// (degraded response) rather than unbounded memory growth.
+type workerPool struct {
+	jobs      chan func()
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers <= 0 {
+		workers = 1
+	}
+	p := &workerPool{jobs: make(chan func())}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.jobs {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// submit hands fn to a worker, blocking until one accepts it or ctx is
+// done. fn runs to completion on the worker; cancellation inside fn is the
+// job's own responsibility (the compute path threads ctx into the
+// heuristic loops).
+func (p *workerPool) submit(ctx context.Context, fn func()) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case p.jobs <- fn:
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}
+
+// close drains the pool: no further submissions, and every accepted job
+// finishes before close returns.
+func (p *workerPool) close() {
+	p.closeOnce.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}

@@ -1,0 +1,450 @@
+// Package service implements mapd, a long-running topology-aware mapping
+// service over the paper's heuristics. A request names a modelled cluster, a
+// communication pattern and a heuristic selector; the response carries the
+// rank permutation, the modelled default/reordered latency at each requested
+// message size and the per-size adaptive routing decision.
+//
+// The service is concurrent at the request level — the first layer of this
+// codebase that is — and built from four cooperating mechanisms:
+//
+//   - a content-addressed result cache: requests are canonicalised and
+//     hashed (topology fingerprint, pattern fingerprint, heuristic, sizes)
+//     so the recurring (topology, pattern) requests of job-launch traffic
+//     are answered from memory;
+//   - single-flight deduplication: concurrent identical requests compute
+//     once, with followers sharing the leader's result;
+//   - a bounded worker pool sharding independent computations across cores,
+//     with "auto" mode racing the four fine-tuned heuristics in parallel
+//     and keeping the winner by modelled cost;
+//   - per-request deadlines threaded as context cancellation into the
+//     heuristic traversal loops, so an over-budget request degrades to the
+//     identity mapping (Degraded=true) instead of blocking a worker.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/patterns"
+	"repro/internal/sched"
+	"repro/internal/scotch"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Workers bounds concurrent mapping computations (default: NumCPU).
+	Workers int
+	// CacheEntries bounds the result cache (default 512).
+	CacheEntries int
+	// DefaultTimeout applies to requests without timeout_ms (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested deadline (default 60s).
+	MaxTimeout time.Duration
+	// Params overrides the cost-model constants (default simnet.DefaultParams).
+	Params *simnet.Params
+}
+
+func (cfg *Config) withDefaults() Config {
+	out := *cfg
+	if out.Workers <= 0 {
+		out.Workers = runtime.NumCPU()
+	}
+	if out.CacheEntries <= 0 {
+		out.CacheEntries = 512
+	}
+	if out.DefaultTimeout <= 0 {
+		out.DefaultTimeout = 10 * time.Second
+	}
+	if out.MaxTimeout <= 0 {
+		out.MaxTimeout = 60 * time.Second
+	}
+	return out
+}
+
+// Service is the mapping service. Create with New, share freely across
+// goroutines, Close when done.
+type Service struct {
+	cfg     Config
+	pool    *workerPool
+	cache   *resultCache
+	flight  *flightGroup
+	stats   statsCollector
+	topoFPs sync.Map // canonical topology spec -> uint64 cluster fingerprint
+}
+
+// New builds a Service from cfg (zero value: all defaults).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:    cfg,
+		pool:   newWorkerPool(cfg.Workers),
+		cache:  newResultCache(cfg.CacheEntries),
+		flight: newFlightGroup(),
+	}
+}
+
+// Close drains the worker pool. In-flight computations finish; subsequent
+// Compute calls panic.
+func (s *Service) Close() { s.pool.close() }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats { return s.stats.snapshot(s.cache.len()) }
+
+// Compute answers one mapping request. The error return is reserved for
+// invalid requests and internal failures; deadline pressure instead yields
+// a valid response with Degraded set and the identity mapping, so callers
+// always have something runnable.
+func (s *Service) Compute(ctx context.Context, req *Request) (*Response, error) {
+	start := time.Now()
+	s.stats.begin()
+	outcome := outcomeError
+	defer func() { s.stats.end(start, outcome) }()
+
+	c, err := s.compile(req)
+	if err != nil {
+		return nil, err
+	}
+
+	timeout := c.timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	var rec *trace.Recorder
+	if c.trace {
+		rec = trace.NewRecorder()
+	}
+	mark := func(name string) {
+		rec.Record(trace.Event{Kind: trace.KindPoint, Peer: -1, Name: name})
+	}
+
+	if resp, ok := s.cache.get(c.key); ok {
+		s.stats.hit()
+		mark("cache-hit")
+		outcome = outcomeOK
+		return stamp(resp, true, start, rec), nil
+	}
+	s.stats.miss()
+
+	call, leader := s.flight.join(c.key)
+	if !leader {
+		s.stats.shared()
+		mark("joined-inflight")
+		select {
+		case <-call.done:
+			if call.err != nil {
+				return nil, call.err
+			}
+			outcome = outcomeFor(call.resp)
+			return stamp(call.resp, false, start, rec), nil
+		case <-ctx.Done():
+			// The leader is still computing but this caller's budget is
+			// spent: degrade independently, leave the flight in place.
+			mark("deadline-while-waiting")
+			outcome = outcomeDegraded
+			return stamp(degradedResponse(c), false, start, rec), nil
+		}
+	}
+
+	resp, err := s.leaderCompute(ctx, c, mark)
+	if err == nil && !resp.Degraded {
+		s.cache.put(c.key, resp)
+	}
+	s.flight.complete(c.key, call, resp, err)
+	if err != nil {
+		return nil, err
+	}
+	outcome = outcomeFor(resp)
+	return stamp(resp, false, start, rec), nil
+}
+
+func outcomeFor(resp *Response) int {
+	if resp.Degraded {
+		return outcomeDegraded
+	}
+	return outcomeOK
+}
+
+// stamp copies base and fills the per-request fields. Cached and shared
+// responses are immutable; the copy keeps them so.
+func stamp(base *Response, cached bool, start time.Time, rec *trace.Recorder) *Response {
+	out := *base
+	out.Cached = cached
+	out.ElapsedMicros = time.Since(start).Microseconds()
+	if rec != nil {
+		evs := rec.Events(0)
+		out.Trace = make([]TraceEvent, len(evs))
+		for i, e := range evs {
+			out.Trace[i] = TraceEvent{Name: e.Name, AtMicros: int64(e.When / time.Microsecond)}
+		}
+	}
+	return &out
+}
+
+// degradedResponse is the graceful-degradation fallback: the identity
+// mapping keeps the job runnable with the default rank order.
+func degradedResponse(c *compiled) *Response {
+	return &Response{
+		Mapping:   core.Identity(c.procs),
+		Heuristic: c.selector,
+		Order:     c.order,
+		Degraded:  true,
+	}
+}
+
+// leaderCompute runs the computation on the worker pool. A deadline while
+// queueing (pool saturated) degrades immediately; a deadline inside the
+// computation is detected by the heuristic loops and degrades there.
+func (s *Service) leaderCompute(ctx context.Context, c *compiled, mark func(string)) (*Response, error) {
+	var (
+		resp *Response
+		err  error
+		done = make(chan struct{})
+	)
+	if submitErr := s.pool.submit(ctx, func() {
+		defer close(done)
+		resp, err = s.run(ctx, c, mark)
+	}); submitErr != nil {
+		mark("deadline-in-queue")
+		return degradedResponse(c), nil
+	}
+	<-done
+	return resp, err
+}
+
+// candidate is one heuristic in the running for a request.
+type candidate struct {
+	name string
+	fn   func(ctx context.Context, d *topology.Distances) (core.Mapping, error)
+}
+
+// contextHeuristics maps selector names to the cancellable heuristics.
+var contextHeuristics = map[string]core.ContextHeuristic{
+	"rdmh": core.RDMHContext,
+	"rmh":  core.RMHContext,
+	"bbmh": core.BBMHContext,
+	"bgmh": core.BGMHContext,
+	"bkmh": core.BKMHContext,
+}
+
+// autoCandidates is the field "auto" races: the paper's four fine-tuned
+// heuristics.
+var autoCandidates = []string{"rdmh", "rmh", "bbmh", "bgmh"}
+
+// candidates resolves the request's selector into the list of heuristics to
+// evaluate.
+func (s *Service) candidates(c *compiled) ([]candidate, error) {
+	wrap := func(name string) candidate {
+		h := contextHeuristics[name]
+		return candidate{name: name, fn: func(ctx context.Context, d *topology.Distances) (core.Mapping, error) {
+			return h(ctx, d, nil)
+		}}
+	}
+	scotchCand := func() candidate {
+		return candidate{name: "scotch", fn: func(ctx context.Context, d *topology.Distances) (core.Mapping, error) {
+			guest := c.graph
+			if guest == nil {
+				var err error
+				if guest, err = patterns.Build(c.pattern, c.procs); err != nil {
+					return nil, err
+				}
+			}
+			return scotch.MapContext(ctx, guest, d, nil)
+		}}
+	}
+	switch {
+	case c.selector == "scotch":
+		return []candidate{scotchCand()}, nil
+	case c.selector == "auto":
+		out := make([]candidate, 0, len(autoCandidates)+1)
+		for _, name := range autoCandidates {
+			out = append(out, wrap(name))
+		}
+		if c.graph != nil {
+			// For arbitrary graphs the general-purpose mapper belongs in
+			// the race: the fine-tuned heuristics assume their pattern.
+			out = append(out, scotchCand())
+		}
+		return out, nil
+	case contextHeuristics[c.selector] != nil:
+		return []candidate{wrap(c.selector)}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown heuristic %q", c.selector)
+	}
+}
+
+// evaluation is one candidate's scored result.
+type evaluation struct {
+	name    string
+	mapping core.Mapping
+	cost    float64 // comparison key: lower is better
+	results []SizeResult
+	gcost   *GraphCost
+	err     error
+}
+
+// run performs the actual computation on a pool worker: distances, then
+// every candidate heuristic in parallel, then selection by modelled cost.
+func (s *Service) run(ctx context.Context, c *compiled, mark func(string)) (*Response, error) {
+	s.stats.computed()
+	d, err := topology.NewDistances(c.cluster, c.layout)
+	if err != nil {
+		return nil, err
+	}
+	mark("distances")
+	if ctx.Err() != nil {
+		return degradedResponse(c), nil
+	}
+
+	cands, err := s.candidates(c)
+	if err != nil {
+		return nil, err
+	}
+	evals := make([]evaluation, len(cands))
+	var wg sync.WaitGroup
+	for i := range cands {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			evals[i] = s.evaluate(ctx, c, d, cands[i])
+			mark("evaluated:" + cands[i].name)
+		}(i)
+	}
+	wg.Wait()
+
+	best := -1
+	for i := range evals {
+		if evals[i].err != nil {
+			continue
+		}
+		if best < 0 || evals[i].cost < evals[best].cost {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Nothing finished. Deadline pressure degrades; anything else is a
+		// real failure worth surfacing.
+		for i := range evals {
+			if evals[i].err != nil && ctx.Err() == nil {
+				return nil, evals[i].err
+			}
+		}
+		mark("deadline-degraded")
+		return degradedResponse(c), nil
+	}
+	win := &evals[best]
+	mark("selected:" + win.name)
+	return &Response{
+		Mapping:   win.mapping,
+		Heuristic: win.name,
+		Order:     c.order,
+		Results:   win.results,
+		GraphCost: win.gcost,
+	}, nil
+}
+
+// evaluate computes one candidate's mapping and its modelled cost: the
+// summed reordered latency across the size sweep for named patterns, the
+// weighted-distance objective for explicit graphs.
+func (s *Service) evaluate(ctx context.Context, c *compiled, d *topology.Distances, cand candidate) evaluation {
+	ev := evaluation{name: cand.name}
+	ev.mapping, ev.err = cand.fn(ctx, d)
+	if ev.err != nil {
+		return ev
+	}
+	if c.graph != nil {
+		gc := &GraphCost{
+			Default:   graphCostOf(c.graph, d, core.Identity(c.procs)),
+			Reordered: graphCostOf(c.graph, d, ev.mapping),
+		}
+		ev.gcost = gc
+		ev.cost = float64(gc.Reordered)
+		return ev
+	}
+
+	params := simnet.DefaultParams()
+	if s.cfg.Params != nil {
+		params = *s.cfg.Params
+	}
+	machine, err := simnet.NewMachine(c.cluster, params)
+	if err != nil {
+		ev.err = err
+		return ev
+	}
+	setup, err := experiments.NewSetupWithMachine(machine, c.procs, c.sizes)
+	if err != nil {
+		ev.err = err
+		return ev
+	}
+	mode, err := orderModeOf(c.order)
+	if err != nil {
+		ev.err = err
+		return ev
+	}
+	// One size per AdaptivePolicy call keeps a cancellation point between
+	// sizes, so pricing also respects the deadline at size granularity.
+	for _, size := range c.sizes {
+		if err := ctx.Err(); err != nil {
+			ev.err = err
+			return ev
+		}
+		dec, err := experiments.AdaptivePolicy(setup, c.layout, ev.mapping, c.pattern, mode, []int{size})
+		if err != nil {
+			ev.err = err
+			return ev
+		}
+		ev.results = append(ev.results, SizeResult{
+			Bytes:            dec[0].Bytes,
+			DefaultSeconds:   dec[0].Default,
+			ReorderedSeconds: dec[0].Reordered,
+			UseReordered:     dec[0].UseReordered,
+		})
+		ev.cost += dec[0].Reordered
+	}
+	return ev
+}
+
+// orderModeOf maps the canonical order name to the schedule transform.
+func orderModeOf(name string) (sched.OrderMode, error) {
+	switch name {
+	case "initComm":
+		return sched.InitComm, nil
+	case "endShfl":
+		return sched.EndShuffle, nil
+	case "none":
+		return sched.NoOrderFix, nil
+	default:
+		return 0, fmt.Errorf("service: unknown order mode %q", name)
+	}
+}
+
+// graphCostOf is the mapping objective for explicit graphs: total
+// weight x distance over every edge, with process u placed on slot m[u].
+func graphCostOf(g *graph.Graph, d *topology.Distances, m core.Mapping) int64 {
+	var sum int64
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if e.To > u {
+				sum += e.W * int64(d.At(m[u], m[e.To]))
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindowSize bounds the latency sample window used for the reported
+// percentiles: large enough to smooth the load tests, small enough that a
+// snapshot sort stays off any hot path.
+const latWindowSize = 2048
+
+// statsCollector aggregates the service counters under one mutex. Every
+// field is touched once or twice per request, so contention is negligible
+// next to a mapping computation.
+type statsCollector struct {
+	mu           sync.Mutex
+	requests     uint64
+	ok           uint64
+	degraded     uint64
+	errors       uint64
+	cacheHits    uint64
+	cacheMisses  uint64
+	flightShared uint64
+	computes     uint64
+	inFlight     int64
+
+	lat  [latWindowSize]time.Duration // ring buffer of recent service times
+	latN uint64                       // total recorded; lat[i%size] holds sample i
+}
+
+// Stats is a point-in-time snapshot of the service counters, shaped for the
+// /stats endpoint.
+type Stats struct {
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Degraded uint64 `json:"degraded"`
+	Errors   uint64 `json:"errors"`
+	InFlight int64  `json:"in_flight"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	FlightShared uint64  `json:"flight_shared"` // misses that joined an in-flight computation
+	Computes     uint64  `json:"computes"`      // actual mapping computations performed
+	CacheEntries int     `json:"cache_entries"`
+	HitRatio     float64 `json:"cache_hit_ratio"` // (hits + shared) / requests
+
+	P50Micros int64 `json:"p50_us"`
+	P99Micros int64 `json:"p99_us"`
+}
+
+func (s *statsCollector) begin() {
+	s.mu.Lock()
+	s.requests++
+	s.inFlight++
+	s.mu.Unlock()
+}
+
+// outcome values recorded by end.
+const (
+	outcomeOK = iota
+	outcomeDegraded
+	outcomeError
+)
+
+func (s *statsCollector) end(start time.Time, outcome int) {
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	s.inFlight--
+	switch outcome {
+	case outcomeOK:
+		s.ok++
+	case outcomeDegraded:
+		s.degraded++
+	default:
+		s.errors++
+	}
+	s.lat[s.latN%latWindowSize] = elapsed
+	s.latN++
+	s.mu.Unlock()
+}
+
+func (s *statsCollector) hit()      { s.mu.Lock(); s.cacheHits++; s.mu.Unlock() }
+func (s *statsCollector) miss()     { s.mu.Lock(); s.cacheMisses++; s.mu.Unlock() }
+func (s *statsCollector) shared()   { s.mu.Lock(); s.flightShared++; s.mu.Unlock() }
+func (s *statsCollector) computed() { s.mu.Lock(); s.computes++; s.mu.Unlock() }
+
+// snapshot assembles the exported view, computing the latency percentiles
+// over the current window.
+func (s *statsCollector) snapshot(cacheEntries int) Stats {
+	s.mu.Lock()
+	out := Stats{
+		Requests:     s.requests,
+		OK:           s.ok,
+		Degraded:     s.degraded,
+		Errors:       s.errors,
+		InFlight:     s.inFlight,
+		CacheHits:    s.cacheHits,
+		CacheMisses:  s.cacheMisses,
+		FlightShared: s.flightShared,
+		Computes:     s.computes,
+		CacheEntries: cacheEntries,
+	}
+	n := int(s.latN)
+	if n > latWindowSize {
+		n = latWindowSize
+	}
+	window := make([]time.Duration, n)
+	copy(window, s.lat[:n])
+	s.mu.Unlock()
+
+	if out.Requests > 0 {
+		out.HitRatio = float64(out.CacheHits+out.FlightShared) / float64(out.Requests)
+	}
+	if n > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		out.P50Micros = window[n/2].Microseconds()
+		out.P99Micros = window[(n*99)/100].Microseconds()
+	}
+	return out
+}

@@ -65,6 +65,17 @@ var AllLayouts = []LayoutKind{BlockBunch, BlockScatter, CyclicBunch, CyclicScatt
 // String implements fmt.Stringer for LayoutKind.
 func (k LayoutKind) String() string { return k.Node.String() + "-" + k.Socket.String() }
 
+// ParseLayoutKind returns the layout kind whose String() form is name
+// (e.g. "cyclic-bunch").
+func ParseLayoutKind(name string) (LayoutKind, error) {
+	for _, k := range AllLayouts {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return LayoutKind{}, fmt.Errorf("topology: unknown layout kind %q", name)
+}
+
 // Layout produces the rank-to-core placement of p processes on cluster c
 // under layout kind k. The result maps rank r to the global core index
 // hosting it. The job uses the first ceil(p / coresPerNode) nodes of the
