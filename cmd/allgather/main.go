@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/osu"
 	"repro/internal/patterns"
@@ -35,11 +36,18 @@ func main() {
 	withScotch := flag.Bool("scotch", false, "also evaluate the Scotch baseline mapping")
 	real := flag.Bool("real", false, "also execute the collective on the goroutine runtime (small p only)")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the -real execution to this file (load in chrome://tracing or Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON snapshot of the metrics registry to this file at exit")
 	flag.Parse()
 
 	if err := run(os.Stdout, *p, *layoutName, *size, *alg, *withScotch, *real, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "allgather:", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteJSONFile(*metricsOut, metrics.Default); err != nil {
+			fmt.Fprintln(os.Stderr, "allgather:", err)
+			os.Exit(1)
+		}
 	}
 }
 

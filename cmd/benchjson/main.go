@@ -1,0 +1,201 @@
+// Command benchjson runs (or parses) `go test -bench` output and emits a
+// machine-readable BENCH_<tag>.json, turning the paper-metric benchmarks
+// (improvement_%, modeled_s, ...) into artifacts that CI can archive, diff
+// and plot without scraping test logs.
+//
+// Usage:
+//
+//	benchjson -tag ci -bench 'Fig1|Ablation' -benchtime 1x -pkg . -out .
+//	go test -bench . -benchtime 1x | benchjson -tag local -stdin
+//
+// The emitted document records, per benchmark: the trimmed name, the
+// GOMAXPROCS suffix, the iteration count, ns/op, and every custom metric
+// value/unit pair the benchmark reported via (*testing.B).ReportMetric.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran at (0 when unsuffixed).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op value.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other value/unit pair on the line, keyed by unit:
+	// the standard B/op and allocs/op as well as custom paper metrics such
+	// as improvement_% or modeled_s.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the BENCH_<tag>.json schema.
+type Document struct {
+	Tag        string      `json:"tag"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	UnixTime   int64       `json:"unix_time"`
+	Command    string      `json:"command,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Failed     bool        `json:"failed,omitempty"`
+}
+
+func main() {
+	tag := flag.String("tag", "local", "tag naming the output file BENCH_<tag>.json")
+	bench := flag.String("bench", ".", "go test -bench regexp")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	outDir := flag.String("out", ".", "directory for the output file")
+	fromStdin := flag.Bool("stdin", false, "parse existing bench output from stdin instead of running go test")
+	timeout := flag.Duration("timeout", 10*time.Minute, "go test timeout")
+	flag.Parse()
+
+	if err := run(*tag, *bench, *benchtime, *pkg, *outDir, *fromStdin, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tag, bench, benchtime, pkg, outDir string, fromStdin bool, timeout time.Duration) error {
+	if !validTag(tag) {
+		return fmt.Errorf("tag %q must match [A-Za-z0-9._-]+", tag)
+	}
+	doc := Document{
+		Tag:       tag,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		UnixTime:  time.Now().Unix(),
+	}
+
+	var output io.Reader
+	if fromStdin {
+		output = os.Stdin
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime,
+			"-timeout", timeout.String(), pkg}
+		doc.Command = "go " + strings.Join(args, " ")
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			// Keep whatever parsed so the artifact still shows partial
+			// results, but mark the run failed and exit non-zero below.
+			doc.Failed = true
+		}
+		os.Stdout.Write(raw)
+		output = strings.NewReader(string(raw))
+	}
+
+	benchmarks, err := parseBenchOutput(output)
+	if err != nil {
+		return err
+	}
+	doc.Benchmarks = benchmarks
+	if len(benchmarks) == 0 && !doc.Failed {
+		return fmt.Errorf("no benchmark result lines found")
+	}
+
+	path := filepath.Join(outDir, "BENCH_"+tag+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benchmarks), path)
+	if doc.Failed {
+		return fmt.Errorf("go test -bench failed")
+	}
+	return nil
+}
+
+var tagRe = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+func validTag(tag string) bool { return tagRe.MatchString(tag) }
+
+// parseBenchOutput extracts the result lines from `go test -bench` output.
+// A result line is
+//
+//	BenchmarkName[-P]  <iterations>  <value> <unit>  [<value> <unit> ...]
+//
+// where the first value/unit pair is normally ns/op and later pairs carry
+// B/op, allocs/op and any (*testing.B).ReportMetric custom metrics.
+func parseBenchOutput(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name + iterations + at least one value/unit pair, in pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Iterations: iters, Metrics: map[string]float64{}}
+		b.Name, b.Procs = splitProcs(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+			} else {
+				b.Metrics[unit] = v
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// splitProcs splits the -GOMAXPROCS suffix off a benchmark name. Sub-benchmark
+// path segments may themselves contain dashes, so only a trailing all-digit
+// segment counts.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 0
+	}
+	return name[:i], n
+}

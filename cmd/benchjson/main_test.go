@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.80GHz
+BenchmarkFig1PatternConstruction-8   	     100	     11832 ns/op
+BenchmarkAblationBBMHTraversal/smaller-subtree-first-8         	      39	  29410000 ns/op	        12.50 improvement_%
+BenchmarkExtensionAllreduce-8        	       1	1250000000 ns/op	         0.004100 modeled_s	      128 B/op	       3 allocs/op
+BenchmarkUnsuffixed 	      50	     21000 ns/op
+PASS
+ok  	repro	4.123s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(got))
+	}
+
+	b := got[0]
+	if b.Name != "BenchmarkFig1PatternConstruction" || b.Procs != 8 ||
+		b.Iterations != 100 || b.NsPerOp != 11832 || b.Metrics != nil {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+
+	b = got[1]
+	if b.Name != "BenchmarkAblationBBMHTraversal/smaller-subtree-first" || b.Procs != 8 {
+		t.Errorf("sub-benchmark name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Metrics["improvement_%"] != 12.5 {
+		t.Errorf("improvement_%% = %v, want 12.5", b.Metrics["improvement_%"])
+	}
+
+	b = got[2]
+	if b.NsPerOp != 1.25e9 {
+		t.Errorf("ns/op = %v, want 1.25e9", b.NsPerOp)
+	}
+	if b.Metrics["modeled_s"] != 0.0041 || b.Metrics["B/op"] != 128 || b.Metrics["allocs/op"] != 3 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+
+	b = got[3]
+	if b.Name != "BenchmarkUnsuffixed" || b.Procs != 0 {
+		t.Errorf("unsuffixed = %q/%d", b.Name, b.Procs)
+	}
+}
+
+func TestParseBenchOutputSkipsNoise(t *testing.T) {
+	noise := `goos: linux
+BenchmarkBroken 	 notanumber 	 5 ns/op
+Benchmark   (malformed header line)
+FAIL
+`
+	got, err := parseBenchOutput(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(got))
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 0},
+		{"BenchmarkX/sub-case-16", "BenchmarkX/sub-case", 16},
+		{"BenchmarkX/sub-case", "BenchmarkX/sub-case", 0}, // trailing segment not numeric
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = %q, %d; want %q, %d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}
+
+func TestValidTag(t *testing.T) {
+	for _, ok := range []string{"ci", "v1.2", "linux_amd64", "a-b"} {
+		if !validTag(ok) {
+			t.Errorf("validTag(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "a b", "../escape", "x/y"} {
+		if validTag(bad) {
+			t.Errorf("validTag(%q) = true", bad)
+		}
+	}
+}

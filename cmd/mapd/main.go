@@ -2,12 +2,14 @@
 // /map with a topology, a communication pattern and a heuristic selector
 // answers with the rank permutation, the modelled default/reordered latency
 // per message size and the adaptive-routing decision; /stats exposes the
-// service counters and /healthz liveness.
+// service counters, /metrics the Prometheus text exposition of every
+// instrumented layer, and /healthz liveness. With -pprof, the net/http/pprof
+// profiling endpoints mount under /debug/pprof/.
 //
 // Usage:
 //
 //	mapd -addr :7117
-//	mapd -addr 127.0.0.1:7117 -workers 8 -cache 1024 -timeout 5s
+//	mapd -addr 127.0.0.1:7117 -workers 8 -cache 1024 -timeout 5s -pprof
 //
 //	curl -s localhost:7117/map -d '{
 //	  "topology": {"preset": "gpc"},
@@ -25,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +42,7 @@ func main() {
 	cacheEntries := flag.Int("cache", 512, "result-cache capacity (entries)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -48,7 +52,7 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
-	}, log.New(os.Stderr, "mapd: ", log.LstdFlags)); err != nil {
+	}, *enablePprof, log.New(os.Stderr, "mapd: ", log.LstdFlags)); err != nil {
 		fmt.Fprintln(os.Stderr, "mapd:", err)
 		os.Exit(1)
 	}
@@ -57,7 +61,7 @@ func main() {
 // run serves until ctx is cancelled, then shuts down gracefully: the
 // listener closes, in-flight requests finish (bounded by their own
 // deadlines) and the worker pool drains.
-func run(ctx context.Context, addr string, cfg service.Config, logger *log.Logger) error {
+func run(ctx context.Context, addr string, cfg service.Config, enablePprof bool, logger *log.Logger) error {
 	svc := service.New(cfg)
 	defer svc.Close()
 
@@ -65,7 +69,20 @@ func run(ctx context.Context, addr string, cfg service.Config, logger *log.Logge
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if enablePprof {
+		// The service handler owns its own mux, so the pprof endpoints are
+		// mounted explicitly instead of through http.DefaultServeMux.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	logger.Printf("serving on %s", ln.Addr())
 
 	errc := make(chan error, 1)

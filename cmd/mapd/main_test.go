@@ -49,7 +49,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	logger := log.New(io.Discard, "", 0)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", service.Config{Workers: 2, CacheEntries: 16}, logger)
+		done <- run(ctx, "127.0.0.1:0", service.Config{Workers: 2, CacheEntries: 16}, false, logger)
 	}()
 
 	// The ephemeral port is not reported back, so probe via the logger
@@ -70,7 +70,7 @@ func TestEndToEnd(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", service.Config{Workers: 2, CacheEntries: 16}, logger)
+		done <- run(ctx, "127.0.0.1:0", service.Config{Workers: 2, CacheEntries: 16}, true, logger)
 	}()
 
 	base := ""
@@ -115,6 +115,40 @@ func TestEndToEnd(t *testing.T) {
 	res.Body.Close()
 	if st.Requests != 1 || st.Computes != 1 {
 		t.Errorf("stats = %+v, want one request, one compute", st)
+	}
+
+	// /metrics must expose at least one family from every instrumented
+	// layer: the service itself, the heuristics, and the (eagerly
+	// registered, zero-valued here) mpi runtime and collectives.
+	res, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	exposition, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d, err %v", res.StatusCode, err)
+	}
+	for _, family := range []string{
+		"mapd_requests_total",
+		"heuristic_mappings_total",
+		"mpi_messages_sent_total",
+		"collective_invocations_total",
+	} {
+		if !strings.Contains(string(exposition), family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	// -pprof was enabled, so the profiling index must answer.
+	res, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/cmdline: %v", err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint answered %d", res.StatusCode)
 	}
 
 	cancel()

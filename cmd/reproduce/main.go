@@ -21,6 +21,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/collective"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/osu"
 	"repro/internal/trace"
@@ -32,11 +33,18 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables")
 	tracePath := flag.String("trace", "", "also run a laptop-scale allgather on the real runtime and write its Chrome trace to this file")
+	metricsOut := flag.String("metrics-out", "", "write a JSON snapshot of the metrics registry to this file at exit")
 	flag.Parse()
 
 	if err := run(os.Stdout, *fig, *procs, *quick, *csvOut, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteJSONFile(*metricsOut, metrics.Default); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -62,6 +62,7 @@ func RingAllgather(c *mpi.Comm, send, recv []byte, place Placement) error {
 	if err != nil {
 		return err
 	}
+	defer beginCollective("ring")()
 	c.TraceEnter("allgather/ring")
 	defer c.TraceExit("allgather/ring")
 	p, me := c.Size(), c.Rank()
@@ -108,6 +109,7 @@ func RecursiveDoublingAllgather(c *mpi.Comm, send, recv []byte) error {
 	if p&(p-1) != 0 {
 		return fmt.Errorf("collective: recursive doubling needs a power-of-two size, got %d", p)
 	}
+	defer beginCollective("recursive-doubling")()
 	c.TraceEnter("allgather/recursive-doubling")
 	defer c.TraceExit("allgather/recursive-doubling")
 	copy(recv[me*blk:], send)
@@ -141,6 +143,7 @@ func BruckAllgather(c *mpi.Comm, send, recv []byte) error {
 	if err != nil {
 		return err
 	}
+	defer beginCollective("bruck")()
 	c.TraceEnter("allgather/bruck")
 	defer c.TraceExit("allgather/bruck")
 	p, me := c.Size(), c.Rank()

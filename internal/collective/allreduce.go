@@ -27,6 +27,7 @@ func BinomialReduce(c *mpi.Comm, root int, buf []byte, op ReduceOp) error {
 	if op == nil {
 		return fmt.Errorf("collective: nil reduce op")
 	}
+	defer beginCollective("binomial-reduce")()
 	vr := ((me-root)%p + p) % p
 	for mask := 1; mask < p; mask <<= 1 {
 		if vr&mask != 0 {
@@ -58,6 +59,7 @@ func HierarchicalAllreduce(c *mpi.Comm, buf []byte, op ReduceOp, nodeID func(wor
 	if len(buf) == 0 {
 		return fmt.Errorf("collective: empty allreduce buffer")
 	}
+	defer beginCollective("hierarchical-allreduce")()
 	nodeComm, err := c.Split(nodeID(c.WorldRank()), c.Rank())
 	if err != nil {
 		return err
@@ -98,6 +100,7 @@ func Allreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
 	if len(buf) == 0 {
 		return fmt.Errorf("collective: empty allreduce buffer")
 	}
+	defer beginCollective("allreduce")()
 	if err := BinomialReduce(c, 0, buf, op); err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package collective
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/sched"
@@ -23,6 +24,7 @@ func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank
 	if err != nil {
 		return err
 	}
+	defer beginCollective("hierarchical")()
 	c.TraceEnter("allgather/hierarchical")
 	defer c.TraceExit("allgather/hierarchical")
 	p := c.Size()
@@ -57,6 +59,7 @@ func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank
 	}
 
 	// Phase 1: gather tagged blocks into the leader.
+	phaseStart := time.Now()
 	c.TraceEnter("hierarchical/gather")
 	switch cfg.Intra {
 	case sched.Linear:
@@ -67,12 +70,14 @@ func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank
 		return fmt.Errorf("collective: unknown intra kind %d", cfg.Intra)
 	}
 	c.TraceExit("hierarchical/gather")
+	observePhase("hierarchical", "gather", phaseStart)
 	if err != nil {
 		return fmt.Errorf("collective: hierarchical gather phase: %w", err)
 	}
 
 	// Phase 2: allgather among leaders. Requires equal node populations,
 	// like the paper's fully populated allocations.
+	phaseStart = time.Now()
 	c.TraceEnter("hierarchical/inter")
 	full := make([]byte, p*(8+blk))
 	if isLeader {
@@ -98,8 +103,10 @@ func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank
 		}
 	}
 	c.TraceExit("hierarchical/inter")
+	observePhase("hierarchical", "inter", phaseStart)
 
 	// Phase 3: broadcast the assembled buffer inside each node.
+	phaseStart = time.Now()
 	c.TraceEnter("hierarchical/bcast")
 	switch cfg.Intra {
 	case sched.Linear:
@@ -108,6 +115,7 @@ func HierarchicalAllgather(c *mpi.Comm, send, recv []byte, nodeID func(worldRank
 		err = BinomialBroadcast(nodeComm, 0, full)
 	}
 	c.TraceExit("hierarchical/bcast")
+	observePhase("hierarchical", "bcast", phaseStart)
 	if err != nil {
 		return fmt.Errorf("collective: hierarchical broadcast phase: %w", err)
 	}

@@ -41,6 +41,7 @@ func HierarchicalReorderedAllgather(c *mpi.Comm, send, recv []byte, cluster *top
 	if !c.ReorderEnabled() {
 		return HierarchicalAllgather(c, send, recv, nodeOf, cfg)
 	}
+	defer beginCollective("hierarchical-reordered")()
 	p := c.Size()
 
 	nodeComm, err := c.Split(nodeOf(c.WorldRank()), c.Rank())

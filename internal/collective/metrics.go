@@ -1,0 +1,55 @@
+package collective
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Per-algorithm instrumentation on the default registry. Counts and
+// durations are recorded per participating rank: a ring allgather over an
+// 8-rank communicator contributes 8 invocations, mirroring how each rank
+// experiences the collective. The phase label distinguishes the three
+// phases of the hierarchical composition; flat algorithms record a single
+// "total" phase.
+var (
+	collectiveInvocations = metrics.NewCounterVec("collective_invocations_total",
+		"Collective invocations, one per participating rank.", "algorithm")
+	collectivePhase = metrics.NewHistogramVec("collective_phase_seconds",
+		"Per-rank wall time of collective phases.", metrics.DurationOpts,
+		"algorithm", "phase")
+)
+
+// knownAlgorithms pre-registers the per-algorithm series so that /metrics
+// exposes every family with zero values before the first collective runs.
+var knownAlgorithms = []string{
+	"ring", "recursive-doubling", "bruck", "neighbor-exchange",
+	"binomial-broadcast", "linear-broadcast", "binomial-gather",
+	"linear-gather", "binomial-scatter", "scatter-allgather-broadcast",
+	"hierarchical", "hierarchical-reordered", "reordered",
+	"allreduce", "hierarchical-allreduce", "rabenseifner", "binomial-reduce",
+}
+
+func init() {
+	for _, a := range knownAlgorithms {
+		collectiveInvocations.With("algorithm", a)
+		collectivePhase.With("algorithm", a, "phase", "total")
+	}
+}
+
+// beginCollective counts one invocation of alg on the calling rank and
+// returns the completion hook that records the total phase duration; use as
+//
+//	defer beginCollective("ring")()
+func beginCollective(alg string) func() {
+	collectiveInvocations.With("algorithm", alg).Inc()
+	start := time.Now()
+	return func() {
+		collectivePhase.With("algorithm", alg, "phase", "total").Observe(time.Since(start).Seconds())
+	}
+}
+
+// observePhase records one named sub-phase duration of alg.
+func observePhase(alg, phase string, start time.Time) {
+	collectivePhase.With("algorithm", alg, "phase", phase).Observe(time.Since(start).Seconds())
+}

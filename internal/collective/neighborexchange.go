@@ -24,6 +24,7 @@ func NeighborExchangeAllgather(c *mpi.Comm, send, recv []byte, place Placement) 
 	if p%2 != 0 && p != 1 {
 		return fmt.Errorf("collective: neighbor exchange needs an even size, got %d", p)
 	}
+	defer beginCollective("neighbor-exchange")()
 	c.TraceEnter("allgather/neighbor-exchange")
 	defer c.TraceExit("allgather/neighbor-exchange")
 	copy(recv[position(place, me)*blk:], send)

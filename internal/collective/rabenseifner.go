@@ -33,6 +33,7 @@ func RabenseifnerAllreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
 	if p == 1 {
 		return nil
 	}
+	defer beginCollective("rabenseifner")()
 	c.TraceEnter("allreduce/rabenseifner")
 	defer c.TraceExit("allreduce/rabenseifner")
 	chunk := len(buf) / p

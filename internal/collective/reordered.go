@@ -145,6 +145,7 @@ func (r *Reordered) Allgather(send, recv []byte, alg Algorithm) error {
 	if err != nil {
 		return err
 	}
+	defer beginCollective("reordered")()
 	resolved := Select(alg, r.re.Size(), blk)
 	if resolved == AlgRing {
 		// In-algorithm fix: contributor with new rank j is original rank

@@ -25,6 +25,7 @@ func BinomialScatter(c *mpi.Comm, root int, data, out []byte) error {
 	if me == root && len(data) != p*chunk {
 		return fmt.Errorf("collective: scatter data is %d bytes, want %d", len(data), p*chunk)
 	}
+	defer beginCollective("binomial-scatter")()
 	vr := ((me-root)%p + p) % p
 	// tmp holds the contiguous virtual-rank range [vr, vr+span) this rank
 	// is responsible for distributing.
@@ -85,6 +86,7 @@ func ScatterAllgatherBroadcast(c *mpi.Comm, root int, data []byte) error {
 		return fmt.Errorf("collective: scatter-allgather broadcast needs a buffer divisible by %d ranks, got %d bytes",
 			p, len(data))
 	}
+	defer beginCollective("scatter-allgather-broadcast")()
 	chunk := len(data) / p
 	mine := make([]byte, chunk)
 	if err := BinomialScatter(c, root, data, mine); err != nil {

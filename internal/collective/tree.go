@@ -18,6 +18,7 @@ func BinomialBroadcast(c *mpi.Comm, root int, data []byte) error {
 	if p == 1 {
 		return nil
 	}
+	defer beginCollective("binomial-broadcast")()
 	c.TraceEnter("bcast/binomial")
 	defer c.TraceExit("bcast/binomial")
 	vr := ((me-root)%p + p) % p
@@ -78,6 +79,7 @@ func BinomialGather(c *mpi.Comm, root int, send, recv []byte, place Placement) e
 	if me == root && len(recv) != p*blk {
 		return fmt.Errorf("collective: gather recv buffer is %d bytes, want %d", len(recv), p*blk)
 	}
+	defer beginCollective("binomial-gather")()
 	c.TraceEnter("gather/binomial")
 	defer c.TraceExit("gather/binomial")
 	vr := ((me-root)%p + p) % p
@@ -147,6 +149,7 @@ func LinearGather(c *mpi.Comm, root int, send, recv []byte, place Placement) err
 	if root < 0 || root >= p {
 		return fmt.Errorf("collective: gather root %d outside communicator of size %d", root, p)
 	}
+	defer beginCollective("linear-gather")()
 	c.TraceEnter("gather/linear")
 	defer c.TraceExit("gather/linear")
 	if me != root {
@@ -178,6 +181,7 @@ func LinearBroadcast(c *mpi.Comm, root int, data []byte) error {
 	if root < 0 || root >= p {
 		return fmt.Errorf("collective: broadcast root %d outside communicator of size %d", root, p)
 	}
+	defer beginCollective("linear-broadcast")()
 	c.TraceEnter("bcast/linear")
 	defer c.TraceExit("bcast/linear")
 	if me == root {

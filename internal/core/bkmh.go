@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/topology"
 )
@@ -23,11 +24,12 @@ func BKMH(d *topology.Distances, opts *Options) (Mapping, error) {
 }
 
 // BKMHContext is BKMH with context cancellation checked on every placement.
-func BKMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
+func BKMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m Mapping, err error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer instrumentMapping("bkmh", time.Now(), mp, &err)
 	mp.ctx = ctx
 	p := d.N()
 	refUpdate := opts.rdmhRefUpdate()

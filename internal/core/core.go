@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/topology"
 )
@@ -141,6 +142,7 @@ type mapper struct {
 	m        Mapping
 	freeList []int32 // slots not yet assigned, unordered
 	left     int     // number of unmapped ranks
+	scanned  int64   // distance evaluations across find-closest scans
 	rnd      *rand.Rand
 	ctx      context.Context // nil when cancellation is disabled
 }
@@ -212,6 +214,7 @@ func (mp *mapper) removeFree(i int) {
 func (mp *mapper) closestFree(refRank int) (slot, freeIdx int) {
 	refSlot := mp.m[refRank]
 	row := mp.d.Row(refSlot)
+	mp.scanned += int64(len(mp.freeList))
 	best, bestIdx, bestDist, nBest := int32(-1), -1, int32(0), 0
 	for i, s := range mp.freeList {
 		dist := row[s]
@@ -256,11 +259,12 @@ func RDMH(d *topology.Distances, opts *Options) (Mapping, error) {
 }
 
 // RDMHContext is RDMH with context cancellation checked on every placement.
-func RDMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
+func RDMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m Mapping, err error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer instrumentMapping("rdmh", time.Now(), mp, &err)
 	mp.ctx = ctx
 	p := d.N()
 	refUpdate := opts.rdmhRefUpdate()
@@ -324,11 +328,12 @@ func RMH(d *topology.Distances, opts *Options) (Mapping, error) {
 }
 
 // RMHContext is RMH with context cancellation checked on every placement.
-func RMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
+func RMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m Mapping, err error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer instrumentMapping("rmh", time.Now(), mp, &err)
 	mp.ctx = ctx
 	p := d.N()
 	ref := 0
@@ -369,11 +374,12 @@ func BGMH(d *topology.Distances, opts *Options) (Mapping, error) {
 }
 
 // BGMHContext is BGMH with context cancellation checked on every placement.
-func BGMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
+func BGMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m Mapping, err error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer instrumentMapping("bgmh", time.Now(), mp, &err)
 	mp.ctx = ctx
 	p := d.N()
 	refs := make([]int, 0, p)

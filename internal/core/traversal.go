@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/topology"
 )
@@ -48,11 +49,12 @@ func BBMHWithTraversal(d *topology.Distances, opts *Options, tr Traversal) (Mapp
 
 // BBMHWithTraversalContext is BBMHWithTraversal with context cancellation
 // checked on every placement.
-func BBMHWithTraversalContext(ctx context.Context, d *topology.Distances, opts *Options, tr Traversal) (Mapping, error) {
+func BBMHWithTraversalContext(ctx context.Context, d *topology.Distances, opts *Options, tr Traversal) (m Mapping, err error) {
 	mp, err := newMapper(d, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer instrumentMapping("bbmh", time.Now(), mp, &err)
 	mp.ctx = ctx
 	p := d.N()
 	switch tr {

@@ -1,0 +1,34 @@
+package metrics
+
+import "testing"
+
+// TestHotPathsAllocateNothing pins the zero-allocation contract of the
+// per-sample operations: a resolved Counter/Gauge/Histogram handle must be
+// updatable from the runtime's per-message delivery path without touching
+// the garbage collector.
+func TestHotPathsAllocateNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "help")
+	g := r.Gauge("alloc_gauge", "help")
+	h := r.Histogram("alloc_seconds", "help", DurationOpts)
+	vc := r.CounterVec("alloc_vec_total", "help", "k").With("k", "v")
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(7) }},
+		{"Gauge.Add", func() { g.Add(-1) }},
+		{"Histogram.Observe/first-bucket", func() { h.Observe(1e-7) }},
+		{"Histogram.Observe/mid-bucket", func() { h.Observe(3.7e-3) }},
+		{"Histogram.Observe/overflow", func() { h.Observe(1e9) }},
+		{"resolved vec child Inc", func() { vc.Inc() }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(100, tc.fn); avg != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", tc.name, avg)
+		}
+	}
+}

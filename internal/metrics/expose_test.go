@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full text exposition: family ordering by
+// name, child ordering by label values, label escaping, and the histogram
+// _bucket/_sum/_count expansion with cumulative counts.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	h := r.Histogram("alpha_seconds", "Latency.", HistogramOpts{Start: 1, Factor: 2, Count: 4})
+	h.Observe(0.5) // bucket le=1
+	h.Observe(3)   // bucket le=4
+	h.Observe(3)   // bucket le=4
+	h.Observe(100) // +Inf
+
+	cv := r.CounterVec("beta_total", "Events with \"odd\" labels\nand help.", "kind")
+	cv.With("kind", "plain").Add(7)
+	cv.With("kind", `quo"te\slash`+"\n").Inc()
+
+	g := r.Gauge("gamma_depth", "Queue depth.")
+	g.Set(-3)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP alpha_seconds Latency.`,
+		`# TYPE alpha_seconds histogram`,
+		`alpha_seconds_bucket{le="1"} 1`,
+		`alpha_seconds_bucket{le="2"} 1`,
+		`alpha_seconds_bucket{le="4"} 3`,
+		`alpha_seconds_bucket{le="8"} 3`,
+		`alpha_seconds_bucket{le="+Inf"} 4`,
+		`alpha_seconds_sum 106.5`,
+		`alpha_seconds_count 4`,
+		`# HELP beta_total Events with "odd" labels\nand help.`,
+		`# TYPE beta_total counter`,
+		`beta_total{kind="plain"} 7`,
+		`beta_total{kind="quo\"te\\slash\n"} 1`,
+		`# HELP gamma_depth Queue depth.`,
+		`# TYPE gamma_depth gauge`,
+		`gamma_depth -3`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusMultiRegistry checks that same-named families from several
+// registries merge under a single header and disjoint families coexist.
+func TestPrometheusMultiRegistry(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.CounterVec("shared_total", "Shared.", "src").With("src", "a").Add(1)
+	b.CounterVec("shared_total", "Shared.", "src").With("src", "b").Add(2)
+	b.Counter("only_b_total", "B only.").Add(9)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE shared_total counter") != 1 {
+		t.Errorf("shared family header not merged:\n%s", out)
+	}
+	for _, line := range []string{
+		`shared_total{src="a"} 1`,
+		`shared_total{src="b"} 2`,
+		`only_b_total 9`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "Count.").Add(5)
+	h := r.Histogram("snap_seconds", "Latency.", HistogramOpts{Start: 1, Factor: 2, Count: 3})
+	h.Observe(1.5)
+	h.Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Families) != 2 {
+		t.Fatalf("families = %d, want 2", len(snap.Families))
+	}
+	// Sorted by name: snap_seconds before snap_total.
+	hist := snap.Families[0]
+	if hist.Name != "snap_seconds" || hist.Type != "histogram" {
+		t.Fatalf("unexpected first family %+v", hist)
+	}
+	m := hist.Metrics[0]
+	if m.Count == nil || *m.Count != 2 || m.Sum == nil || *m.Sum != 3 {
+		t.Errorf("histogram snapshot count/sum wrong: %+v", m)
+	}
+	if len(m.Buckets) != 4 || m.Buckets[len(m.Buckets)-1].UpperBound != "+Inf" {
+		t.Errorf("buckets = %+v", m.Buckets)
+	}
+	if m.P50 == nil || *m.P50 <= 1 || *m.P50 > 2 {
+		t.Errorf("p50 = %v, want in (1, 2]", m.P50)
+	}
+	ctr := snap.Families[1]
+	if ctr.Name != "snap_total" || ctr.Metrics[0].Value == nil || *ctr.Metrics[0].Value != 5 {
+		t.Errorf("counter snapshot wrong: %+v", ctr)
+	}
+}

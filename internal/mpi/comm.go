@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/trace"
@@ -46,6 +47,8 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	metricMessagesSent.Inc()
+	metricBytesSent.Add(uint64(len(data)))
 	if t := c.world.tracer; t != nil {
 		t.Record(trace.Event{
 			Kind: trace.KindSend, Rank: c.members[c.rank], Ctx: c.ctx,
@@ -86,6 +89,8 @@ const (
 
 // Barrier blocks until every member of the communicator has entered it.
 func (c *Comm) Barrier() error {
+	start := time.Now()
+	defer func() { metricBarrier.Observe(time.Since(start).Seconds()) }()
 	const none = 0
 	if c.rank == 0 {
 		for r := 1; r < len(c.members); r++ {

@@ -119,6 +119,8 @@ func Run(size int, body func(c *Comm) error, opts ...Option) error {
 	}
 	worldCtx := w.nextCtx.Add(1)
 	w.registerComm(worldCtx, "world", size)
+	metricActiveWorlds.Inc()
+	defer metricActiveWorlds.Dec()
 
 	var watchdog *time.Timer
 	if w.timeout > 0 {
@@ -292,6 +294,8 @@ func (w *World) expired() bool {
 // the sender's world rank (m.src carries the communicator-local rank used
 // for matching).
 func (w *World) deliver(dst, worldSrc int, m message) {
+	metricMessagesDelivered.Inc()
+	metricBytesDelivered.Add(uint64(len(m.data)))
 	if w.stats != nil {
 		w.stats.record(worldSrc, dst, len(m.data))
 	}
@@ -315,6 +319,7 @@ func (w *World) await(self int, ctx uint64, src, tag int) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	blocked := false
+	var blockedAt time.Time
 	for {
 		for i := range p.inbox {
 			m := &p.inbox[i]
@@ -323,6 +328,7 @@ func (w *World) await(self int, ctx uint64, src, tag int) ([]byte, error) {
 				p.inbox = append(p.inbox[:i], p.inbox[i+1:]...)
 				if blocked {
 					p.waiting = false
+					metricRecvWait.Observe(time.Since(blockedAt).Seconds())
 					if w.tracer != nil {
 						w.tracer.Record(trace.Event{
 							Kind: trace.KindRecvUnblock, Rank: self, Ctx: ctx,
@@ -346,6 +352,7 @@ func (w *World) await(self int, ctx uint64, src, tag int) ([]byte, error) {
 		}
 		if !blocked {
 			blocked = true
+			blockedAt = time.Now()
 			p.waiting = true
 			p.waitCtx, p.waitSrc, p.waitTag = ctx, src, tag
 			if w.tracer != nil {

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -62,9 +63,12 @@ func MapContext(ctx context.Context, guest *graph.Graph, d *topology.Distances, 
 	for i := 0; i < n; i++ {
 		verts[i], slots[i] = i, i
 	}
+	start := time.Now()
 	if err := mapRec(ctx, guest, d, verts, slots, m, bopt); err != nil {
+		core.RecordMapping("scotch", start, 0, 0, err)
 		return nil, err
 	}
+	core.RecordMapping("scotch", start, n, 0, nil)
 	return m, nil
 }
 

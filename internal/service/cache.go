@@ -3,6 +3,8 @@ package service
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // resultCache is a bounded LRU over content-addressed keys. Values are
@@ -13,6 +15,9 @@ type resultCache struct {
 	cap     int
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
+
+	evictions *metrics.Counter // may be nil in direct-construction tests
+	size      *metrics.Gauge   // may be nil in direct-construction tests
 }
 
 type cacheEntry struct {
@@ -20,14 +25,16 @@ type cacheEntry struct {
 	resp *Response
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, evictions *metrics.Counter, size *metrics.Gauge) *resultCache {
 	if capacity <= 0 {
 		capacity = 1
 	}
 	return &resultCache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[string]*list.Element),
+		cap:       capacity,
+		order:     list.New(),
+		entries:   make(map[string]*list.Element),
+		evictions: evictions,
+		size:      size,
 	}
 }
 
@@ -55,6 +62,12 @@ func (c *resultCache) put(key string, resp *Response) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		if c.evictions != nil {
+			c.evictions.Inc()
+		}
+	}
+	if c.size != nil {
+		c.size.Set(int64(len(c.entries)))
 	}
 }
 

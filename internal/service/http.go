@@ -4,12 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"repro/internal/metrics"
 )
 
 // Handler exposes the service over HTTP:
 //
 //	POST /map     — body: Request JSON; reply: Response JSON
 //	GET  /stats   — service counters (Stats JSON)
+//	GET  /metrics — Prometheus text exposition of the process default
+//	                registry merged with the service registry
 //	GET  /healthz — liveness probe
 //
 // Invalid requests answer 400 with {"error": "..."}; a deadline never turns
@@ -18,6 +22,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/map", s.handleMap)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write([]byte(`{"ok":true}` + "\n"))
@@ -51,6 +56,15 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WritePrometheus(w, metrics.Default, s.stats.reg)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

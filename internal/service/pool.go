@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // workerPool shards request computations across a fixed set of goroutines,
@@ -14,13 +16,14 @@ type workerPool struct {
 	jobs      chan func()
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+	depth     *metrics.Gauge // submissions waiting for a worker; may be nil
 }
 
-func newWorkerPool(workers int) *workerPool {
+func newWorkerPool(workers int, depth *metrics.Gauge) *workerPool {
 	if workers <= 0 {
 		workers = 1
 	}
-	p := &workerPool{jobs: make(chan func())}
+	p := &workerPool{jobs: make(chan func()), depth: depth}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -41,6 +44,10 @@ func (p *workerPool) submit(ctx context.Context, fn func()) error {
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
+	}
+	if p.depth != nil {
+		p.depth.Inc()
+		defer p.depth.Dec()
 	}
 	select {
 	case p.jobs <- fn:

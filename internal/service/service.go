@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/patterns"
 	"repro/internal/sched"
 	"repro/internal/scotch"
@@ -77,20 +78,26 @@ type Service struct {
 	pool    *workerPool
 	cache   *resultCache
 	flight  *flightGroup
-	stats   statsCollector
+	stats   *statsCollector
 	topoFPs sync.Map // canonical topology spec -> uint64 cluster fingerprint
 }
 
 // New builds a Service from cfg (zero value: all defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	stats := newStatsCollector()
 	return &Service{
 		cfg:    cfg,
-		pool:   newWorkerPool(cfg.Workers),
-		cache:  newResultCache(cfg.CacheEntries),
+		pool:   newWorkerPool(cfg.Workers, stats.queueDepth),
+		cache:  newResultCache(cfg.CacheEntries, stats.evictions, stats.cacheEntries),
 		flight: newFlightGroup(),
+		stats:  stats,
 	}
 }
+
+// Registry returns the service's private metrics registry, for merging into
+// an exposition endpoint alongside the process default registry.
+func (s *Service) Registry() *metrics.Registry { return s.stats.reg }
 
 // Close drains the worker pool. In-flight computations finish; subsequent
 // Compute calls panic.

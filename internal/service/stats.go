@@ -1,37 +1,69 @@
 package service
 
 import (
-	"sort"
-	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
-// latWindowSize bounds the latency sample window used for the reported
-// percentiles: large enough to smooth the load tests, small enough that a
-// snapshot sort stays off any hot path.
-const latWindowSize = 2048
-
-// statsCollector aggregates the service counters under one mutex. Every
-// field is touched once or twice per request, so contention is negligible
-// next to a mapping computation.
+// statsCollector holds the service's registry-backed instruments. Each
+// Service owns a private registry so that per-instance counters stay exact
+// under tests and multi-tenant embedding; mapd merges it with the process
+// default registry at exposition time.
 type statsCollector struct {
-	mu           sync.Mutex
-	requests     uint64
-	ok           uint64
-	degraded     uint64
-	errors       uint64
-	cacheHits    uint64
-	cacheMisses  uint64
-	flightShared uint64
-	computes     uint64
-	inFlight     int64
+	reg *metrics.Registry
 
-	lat  [latWindowSize]time.Duration // ring buffer of recent service times
-	latN uint64                       // total recorded; lat[i%size] holds sample i
+	requests     *metrics.Counter
+	outcomes     *metrics.CounterVec
+	ok           *metrics.Counter
+	degraded     *metrics.Counter
+	errored      *metrics.Counter
+	inFlight     *metrics.Gauge
+	cacheHits    *metrics.Counter
+	cacheMisses  *metrics.Counter
+	evictions    *metrics.Counter
+	flightShared *metrics.Counter
+	computes     *metrics.Counter
+	cacheEntries *metrics.Gauge
+	queueDepth   *metrics.Gauge
+	latency      *metrics.Histogram
+}
+
+// newStatsCollector builds the instrument set on its own registry.
+func newStatsCollector() *statsCollector {
+	reg := metrics.NewRegistry()
+	s := &statsCollector{reg: reg}
+	s.requests = reg.Counter("mapd_requests_total",
+		"Mapping requests received.")
+	s.outcomes = reg.CounterVec("mapd_responses_total",
+		"Mapping responses by outcome.", "outcome")
+	s.ok = s.outcomes.With("outcome", "ok")
+	s.degraded = s.outcomes.With("outcome", "degraded")
+	s.errored = s.outcomes.With("outcome", "error")
+	s.inFlight = reg.Gauge("mapd_in_flight_requests",
+		"Requests currently being served.")
+	s.cacheHits = reg.Counter("mapd_cache_hits_total",
+		"Requests answered from the result cache.")
+	s.cacheMisses = reg.Counter("mapd_cache_misses_total",
+		"Requests that missed the result cache.")
+	s.evictions = reg.Counter("mapd_cache_evictions_total",
+		"Result-cache entries evicted by the LRU bound.")
+	s.flightShared = reg.Counter("mapd_flight_shared_total",
+		"Cache misses that joined an in-flight computation.")
+	s.computes = reg.Counter("mapd_computations_total",
+		"Mapping computations actually performed.")
+	s.cacheEntries = reg.Gauge("mapd_cache_entries",
+		"Result-cache entries currently held.")
+	s.queueDepth = reg.Gauge("mapd_pool_queue_depth",
+		"Submissions waiting for a free pool worker.")
+	s.latency = reg.Histogram("mapd_request_seconds",
+		"End-to-end mapping request latency.", metrics.DurationOpts)
+	return s
 }
 
 // Stats is a point-in-time snapshot of the service counters, shaped for the
-// /stats endpoint.
+// /stats endpoint. The field set and JSON names predate the metrics registry
+// and are kept byte-compatible.
 type Stats struct {
 	Requests uint64 `json:"requests"`
 	OK       uint64 `json:"ok"`
@@ -51,10 +83,8 @@ type Stats struct {
 }
 
 func (s *statsCollector) begin() {
-	s.mu.Lock()
-	s.requests++
-	s.inFlight++
-	s.mu.Unlock()
+	s.requests.Inc()
+	s.inFlight.Inc()
 }
 
 // outcome values recorded by end.
@@ -65,58 +95,46 @@ const (
 )
 
 func (s *statsCollector) end(start time.Time, outcome int) {
-	elapsed := time.Since(start)
-	s.mu.Lock()
-	s.inFlight--
+	s.inFlight.Dec()
 	switch outcome {
 	case outcomeOK:
-		s.ok++
+		s.ok.Inc()
 	case outcomeDegraded:
-		s.degraded++
+		s.degraded.Inc()
 	default:
-		s.errors++
+		s.errored.Inc()
 	}
-	s.lat[s.latN%latWindowSize] = elapsed
-	s.latN++
-	s.mu.Unlock()
+	s.latency.Observe(time.Since(start).Seconds())
 }
 
-func (s *statsCollector) hit()      { s.mu.Lock(); s.cacheHits++; s.mu.Unlock() }
-func (s *statsCollector) miss()     { s.mu.Lock(); s.cacheMisses++; s.mu.Unlock() }
-func (s *statsCollector) shared()   { s.mu.Lock(); s.flightShared++; s.mu.Unlock() }
-func (s *statsCollector) computed() { s.mu.Lock(); s.computes++; s.mu.Unlock() }
+func (s *statsCollector) hit()      { s.cacheHits.Inc() }
+func (s *statsCollector) miss()     { s.cacheMisses.Inc() }
+func (s *statsCollector) shared()   { s.flightShared.Inc() }
+func (s *statsCollector) computed() { s.computes.Inc() }
 
-// snapshot assembles the exported view, computing the latency percentiles
-// over the current window.
+// snapshot assembles the exported view from the registry instruments. The
+// percentiles interpolate within the latency histogram's exponential buckets
+// instead of sorting a sample window, so snapshots are O(buckets) and the
+// request path stays allocation-free.
 func (s *statsCollector) snapshot(cacheEntries int) Stats {
-	s.mu.Lock()
 	out := Stats{
-		Requests:     s.requests,
-		OK:           s.ok,
-		Degraded:     s.degraded,
-		Errors:       s.errors,
-		InFlight:     s.inFlight,
-		CacheHits:    s.cacheHits,
-		CacheMisses:  s.cacheMisses,
-		FlightShared: s.flightShared,
-		Computes:     s.computes,
+		Requests:     s.requests.Value(),
+		OK:           s.ok.Value(),
+		Degraded:     s.degraded.Value(),
+		Errors:       s.errored.Value(),
+		InFlight:     s.inFlight.Value(),
+		CacheHits:    s.cacheHits.Value(),
+		CacheMisses:  s.cacheMisses.Value(),
+		FlightShared: s.flightShared.Value(),
+		Computes:     s.computes.Value(),
 		CacheEntries: cacheEntries,
 	}
-	n := int(s.latN)
-	if n > latWindowSize {
-		n = latWindowSize
-	}
-	window := make([]time.Duration, n)
-	copy(window, s.lat[:n])
-	s.mu.Unlock()
-
 	if out.Requests > 0 {
 		out.HitRatio = float64(out.CacheHits+out.FlightShared) / float64(out.Requests)
 	}
-	if n > 0 {
-		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-		out.P50Micros = window[n/2].Microseconds()
-		out.P99Micros = window[(n*99)/100].Microseconds()
+	if s.latency.Count() > 0 {
+		out.P50Micros = int64(s.latency.Quantile(0.50) * 1e6)
+		out.P99Micros = int64(s.latency.Quantile(0.99) * 1e6)
 	}
 	return out
 }
