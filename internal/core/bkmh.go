@@ -20,20 +20,29 @@ import (
 // reference core as close to it as possible and advancing the reference
 // after every two placements, exactly mirroring Algorithm 2's structure.
 func BKMH(d *topology.Distances, opts *Options) (Mapping, error) {
-	return BKMHContext(nil, d, opts)
+	return BKMHOracle(nil, d, opts)
 }
 
 // BKMHContext is BKMH with context cancellation checked on every placement.
-func BKMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m Mapping, err error) {
-	mp, err := newMapper(d, opts)
+func BKMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
+	return BKMHOracle(ctx, d, opts)
+}
+
+// BKMHOracle is BKMH over an arbitrary distance oracle.
+func BKMHOracle(ctx context.Context, o topology.Oracle, opts *Options) (m Mapping, err error) {
+	mp, err := newMapper(o, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer instrumentMapping("bkmh", time.Now(), mp, &err)
 	mp.ctx = ctx
-	p := d.N()
+	p := o.N()
 	refUpdate := opts.rdmhRefUpdate()
 	top := prevPow2(p)
+	// Restart frontier over additive strides: unlike XOR masks, (r+i)%p
+	// always names a valid partner.
+	fr := newMaskFrontier(top, func(r, stride int) int { return (r + stride) % p })
+	fr.push(0, mp.mapped)
 	ref := 0
 	i := top
 	placedAtRef := 0
@@ -45,12 +54,13 @@ func BKMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m M
 			i >>= 1
 		}
 		if i == 0 {
-			ref, i = mp.refWithFreeStridePartner(p, top)
+			ref, i = fr.next(mp.mapped)
 			placedAtRef = 0
 			continue
 		}
 		newRank := (ref + i) % p
 		mp.placeNear(newRank, ref)
+		fr.push(newRank, mp.mapped)
 		placedAtRef++
 		if refUpdate > 0 && placedAtRef == refUpdate {
 			ref = newRank
@@ -59,19 +69,4 @@ func BKMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m M
 		}
 	}
 	return mp.m, nil
-}
-
-// refWithFreeStridePartner scans for a mapped rank with an unmapped additive
-// stride partner, preferring the largest stride (heaviest stage).
-func (mp *mapper) refWithFreeStridePartner(p, top int) (ref, stride int) {
-	for i := top; i > 0; i >>= 1 {
-		for r := 0; r < p; r++ {
-			if mp.mapped(r) && !mp.mapped((r+i)%p) {
-				return r, i
-			}
-		}
-	}
-	// Unreachable while unmapped ranks remain: stride 1 connects every rank
-	// to its successor, and at least rank 0 is mapped.
-	panic("core: no reference with free stride partner while ranks remain")
 }

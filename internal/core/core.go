@@ -23,6 +23,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -112,6 +113,12 @@ type Options struct {
 	// 2, the default). 0 selects the default; negative means never advance
 	// — the ablation knobs of the design study.
 	RDMHRefUpdate int
+	// Kernel selects the find-closest engine. The default, KernelAuto,
+	// uses the hierarchy-bucketed kernel whenever the distance source
+	// exposes (or a one-time inference pass finds) a nested hierarchy, and
+	// the reference linear scan otherwise — the two produce identical
+	// mappings under deterministic tie-breaking.
+	Kernel KernelMode
 }
 
 func (o *Options) rdmhRefUpdate() int {
@@ -133,18 +140,25 @@ type Heuristic func(d *topology.Distances, opts *Options) (Mapping, error)
 // Heuristic counterpart.
 type ContextHeuristic func(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error)
 
-// mapper carries the shared state of Algorithm 1. Free slots live in a
-// compact list so that every find-closest scan touches only the slots that
-// are still available; the list shrinks as the mapping fills, halving the
-// total scan work relative to a full-array sweep.
+// OracleHeuristic is the kernel-agnostic form of a mapping heuristic: it
+// consumes any distance oracle — the dense matrix or the compact
+// O(p)-memory topology.Hierarchy — so callers can map large jobs without
+// ever materialising O(p²) state. The *Distances entry points delegate
+// here.
+type OracleHeuristic func(ctx context.Context, o topology.Oracle, opts *Options) (Mapping, error)
+
+// mapper carries the shared state of Algorithm 1. The free-slot set and the
+// find-closest machinery live in the kernel: a linear free-list scan for
+// arbitrary metrics, or the hierarchy-bucketed index that answers each query
+// in O(#levels) on hierarchical topologies.
 type mapper struct {
-	d        *topology.Distances
-	m        Mapping
-	freeList []int32 // slots not yet assigned, unordered
-	left     int     // number of unmapped ranks
-	scanned  int64   // distance evaluations across find-closest scans
-	rnd      *rand.Rand
-	ctx      context.Context // nil when cancellation is disabled
+	o       topology.Oracle
+	m       Mapping
+	left    int   // number of unmapped ranks
+	scanned int64 // distance evaluations (scan) or bucket probes (bucketed)
+	rnd     *rand.Rand
+	ctx     context.Context // nil when cancellation is disabled
+	kern    kernel
 }
 
 // cancelled reports the mapper's context error, if any. Heuristic loops call
@@ -162,23 +176,28 @@ func (mp *mapper) cancelled() error {
 	return nil
 }
 
-func newMapper(d *topology.Distances, opts *Options) (*mapper, error) {
-	p := d.N()
+func newMapper(o topology.Oracle, opts *Options) (*mapper, error) {
+	p := o.N()
 	if p == 0 {
 		return nil, fmt.Errorf("core: empty distance matrix")
 	}
 	mp := &mapper{
-		d:        d,
-		m:        make(Mapping, p),
-		freeList: make([]int32, p),
-		left:     p,
+		o:    o,
+		m:    make(Mapping, p),
+		left: p,
 	}
+	mode := KernelAuto
 	if opts != nil {
 		mp.rnd = opts.Rand
+		mode = opts.Kernel
 	}
+	kern, err := newKernel(o, mode, mp.rnd, &mp.scanned)
+	if err != nil {
+		return nil, err
+	}
+	mp.kern = kern
 	for i := range mp.m {
 		mp.m[i] = -1
-		mp.freeList[i] = int32(i)
 	}
 	// Step 1 of Algorithm 1: fix rank 0 on its current core.
 	mp.assign(0, 0)
@@ -187,61 +206,17 @@ func newMapper(d *topology.Distances, opts *Options) (*mapper, error) {
 
 func (mp *mapper) mapped(rank int) bool { return mp.m[rank] >= 0 }
 
-// assign maps rank onto slot, removing the slot from the free list. The
-// caller guarantees slot is free.
+// assign maps rank onto slot. The caller guarantees slot is free.
 func (mp *mapper) assign(rank, slot int) {
-	for i, s := range mp.freeList {
-		if int(s) == slot {
-			mp.removeFree(i)
-			break
-		}
-	}
+	mp.kern.takeSlot(slot)
 	mp.m[rank] = slot
 	mp.left--
-}
-
-// removeFree deletes free-list entry i by swapping in the tail.
-func (mp *mapper) removeFree(i int) {
-	last := len(mp.freeList) - 1
-	mp.freeList[i] = mp.freeList[last]
-	mp.freeList = mp.freeList[:last]
-}
-
-// closestFree implements find_closest_to(ref, D): the free slot with minimum
-// distance from the slot holding refRank, returned with its free-list index.
-// Ties go to the lowest slot index, or to a uniformly random minimal slot
-// when the mapper was built with a Rand.
-func (mp *mapper) closestFree(refRank int) (slot, freeIdx int) {
-	refSlot := mp.m[refRank]
-	row := mp.d.Row(refSlot)
-	mp.scanned += int64(len(mp.freeList))
-	best, bestIdx, bestDist, nBest := int32(-1), -1, int32(0), 0
-	for i, s := range mp.freeList {
-		dist := row[s]
-		switch {
-		case best < 0 || dist < bestDist || (dist == bestDist && mp.rnd == nil && s < best):
-			best, bestIdx, bestDist, nBest = s, i, dist, 1
-		case dist == bestDist && mp.rnd != nil:
-			// Reservoir-sample among the minimal slots.
-			nBest++
-			if mp.rnd.Intn(nBest) == 0 {
-				best, bestIdx = s, i
-			}
-		}
-	}
-	return int(best), bestIdx
 }
 
 // placeNear maps rank onto the free core closest to refRank's core
 // (Algorithm 1 steps 5–6).
 func (mp *mapper) placeNear(rank, refRank int) {
-	slot, idx := mp.closestFree(refRank)
-	if slot < 0 {
-		// Unreachable: left > 0 implies a free slot exists.
-		panic("core: no free slot while ranks remain")
-	}
-	mp.removeFree(idx)
-	mp.m[rank] = slot
+	mp.m[rank] = mp.kern.takeClosest(mp.m[refRank])
 	mp.left--
 }
 
@@ -255,19 +230,33 @@ func (mp *mapper) placeNear(rank, refRank int) {
 // counts RDMH still produces a valid total mapping by skipping partners
 // beyond p-1 (matching how MPI libraries fall back in that regime).
 func RDMH(d *topology.Distances, opts *Options) (Mapping, error) {
-	return RDMHContext(nil, d, opts)
+	return RDMHOracle(nil, d, opts)
 }
 
 // RDMHContext is RDMH with context cancellation checked on every placement.
-func RDMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m Mapping, err error) {
-	mp, err := newMapper(d, opts)
+func RDMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
+	return RDMHOracle(ctx, d, opts)
+}
+
+// RDMHOracle is RDMH over an arbitrary distance oracle.
+func RDMHOracle(ctx context.Context, o topology.Oracle, opts *Options) (m Mapping, err error) {
+	mp, err := newMapper(o, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer instrumentMapping("rdmh", time.Now(), mp, &err)
 	mp.ctx = ctx
-	p := d.N()
+	p := o.N()
 	refUpdate := opts.rdmhRefUpdate()
+	// Restart frontier for the non-power-of-two fallback: XOR partners
+	// beyond p-1 do not exist.
+	fr := newMaskFrontier(prevPow2(p), func(r, mask int) int {
+		if pr := r ^ mask; pr < p {
+			return pr
+		}
+		return -1
+	})
+	fr.push(0, mp.mapped)
 	ref := 0         // reference core, as a rank
 	i := prevPow2(p) // current stage mask, starting from the last stage
 	placedAtRef := 0 // processes mapped with respect to ref so far
@@ -285,12 +274,13 @@ func RDMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m M
 			// late in the run, or for non-power-of-two p). Restart from
 			// the most recently usable reference: any mapped rank with an
 			// unmapped partner; the XOR graph is connected, so one exists.
-			ref, i = mp.refWithFreePartner(p)
+			ref, i = fr.next(mp.mapped)
 			placedAtRef = 0
 			continue
 		}
 		newRank := ref ^ i
 		mp.placeNear(newRank, ref)
+		fr.push(newRank, mp.mapped)
 		placedAtRef++
 		if refUpdate > 0 && placedAtRef == refUpdate {
 			// Algorithm 2 lines 11–14: update the reference core after two
@@ -304,38 +294,28 @@ func RDMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m M
 	return mp.m, nil
 }
 
-// refWithFreePartner scans for a mapped rank that still has an unmapped XOR
-// partner and returns it with the largest usable stage mask.
-func (mp *mapper) refWithFreePartner(p int) (ref, mask int) {
-	for i := prevPow2(p); i > 0; i >>= 1 {
-		for r := 0; r < p; r++ {
-			if mp.mapped(r) && r^i < p && !mp.mapped(r^i) {
-				return r, i
-			}
-		}
-	}
-	// Unreachable while unmapped ranks remain: rank 0 is mapped and the
-	// XOR graph over 0..p-1 (masks all powers of two < p) is connected.
-	panic("core: no reference with free partner while ranks remain")
-}
-
 // RMH is the mapping heuristic for the ring communication pattern (paper
 // Algorithm 3): processes are selected in increasing rank order and each is
 // mapped as close as possible to its ring predecessor, which becomes the new
 // reference core.
 func RMH(d *topology.Distances, opts *Options) (Mapping, error) {
-	return RMHContext(nil, d, opts)
+	return RMHOracle(nil, d, opts)
 }
 
 // RMHContext is RMH with context cancellation checked on every placement.
-func RMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m Mapping, err error) {
-	mp, err := newMapper(d, opts)
+func RMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
+	return RMHOracle(ctx, d, opts)
+}
+
+// RMHOracle is RMH over an arbitrary distance oracle.
+func RMHOracle(ctx context.Context, o topology.Oracle, opts *Options) (m Mapping, err error) {
+	mp, err := newMapper(o, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer instrumentMapping("rmh", time.Now(), mp, &err)
 	mp.ctx = ctx
-	p := d.N()
+	p := o.N()
 	ref := 0
 	for mp.left > 0 {
 		if err := mp.cancelled(); err != nil {
@@ -363,6 +343,11 @@ func BBMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Map
 	return BBMHWithTraversalContext(ctx, d, opts, SmallerSubtreeFirst)
 }
 
+// BBMHOracle is BBMH over an arbitrary distance oracle.
+func BBMHOracle(ctx context.Context, o topology.Oracle, opts *Options) (Mapping, error) {
+	return BBMHWithTraversalOracle(ctx, o, opts, SmallerSubtreeFirst)
+}
+
 // BGMH is the mapping heuristic for the binomial gather communication
 // pattern (paper Algorithm 5). Message sizes grow toward the root of the
 // gather tree, so the heuristic repeatedly takes the heaviest remaining tree
@@ -370,18 +355,23 @@ func BBMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Map
 // maps its unmapped endpoint as close as possible to the mapped one. Every
 // newly mapped rank joins the set of potential reference cores.
 func BGMH(d *topology.Distances, opts *Options) (Mapping, error) {
-	return BGMHContext(nil, d, opts)
+	return BGMHOracle(nil, d, opts)
 }
 
 // BGMHContext is BGMH with context cancellation checked on every placement.
-func BGMHContext(ctx context.Context, d *topology.Distances, opts *Options) (m Mapping, err error) {
-	mp, err := newMapper(d, opts)
+func BGMHContext(ctx context.Context, d *topology.Distances, opts *Options) (Mapping, error) {
+	return BGMHOracle(ctx, d, opts)
+}
+
+// BGMHOracle is BGMH over an arbitrary distance oracle.
+func BGMHOracle(ctx context.Context, o topology.Oracle, opts *Options) (m Mapping, err error) {
+	mp, err := newMapper(o, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer instrumentMapping("bgmh", time.Now(), mp, &err)
 	mp.ctx = ctx
-	p := d.N()
+	p := o.N()
 	refs := make([]int, 0, p)
 	refs = append(refs, 0)
 	for i := prevPow2(p); i > 0; i >>= 1 {
@@ -412,9 +402,5 @@ func prevPow2(p int) int {
 	if p <= 1 {
 		return 0
 	}
-	i := 1
-	for i<<1 < p {
-		i <<= 1
-	}
-	return i
+	return 1 << (bits.Len(uint(p-1)) - 1)
 }

@@ -409,7 +409,10 @@ func TestPatternHeuristic(t *testing.T) {
 }
 
 func TestPrevPow2(t *testing.T) {
-	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 4, 8: 4, 9: 8, 12: 8, 16: 8, 17: 16, 4096: 2048}
+	cases := map[int]int{
+		0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 4, 7: 4, 8: 4, 9: 8, 12: 8, 16: 8, 17: 16,
+		1023: 512, 1024: 512, 4096: 2048,
+	}
 	for p, want := range cases {
 		if got := prevPow2(p); got != want {
 			t.Errorf("prevPow2(%d) = %d, want %d", p, got, want)

@@ -79,3 +79,61 @@ func FuzzHeuristicsOnRandomLayouts(f *testing.F) {
 		}
 	})
 }
+
+// FuzzKernelEquivalence drives every oracle heuristic over fuzzer-chosen
+// process counts, layout kinds and allocated node subsets, asserting the
+// bucketed kernel and the compact hierarchy oracle reproduce the reference
+// scan's mapping exactly under deterministic tie-breaking.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(uint8(8), uint8(0), uint8(0b1111))
+	f.Add(uint8(13), uint8(3), uint8(0b1010))
+	f.Add(uint8(31), uint8(2), uint8(0b0111))
+	f.Add(uint8(1), uint8(1), uint8(0b0001))
+	c, err := topology.NewCluster(4, 2, 4, topology.TwoLevelFatTree(2, 2, 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, pRaw, kindRaw, nodeMask uint8) {
+		kind := topology.AllLayouts[int(kindRaw)%len(topology.AllLayouts)]
+		var nodes []int
+		for n := 0; n < 4; n++ {
+			if nodeMask&(1<<n) != 0 {
+				nodes = append(nodes, n)
+			}
+		}
+		if len(nodes) == 0 {
+			nodes = []int{0}
+		}
+		p := int(pRaw)%(len(nodes)*c.CoresPerNode()) + 1
+		layout, err := topology.LayoutOnNodes(c, p, kind, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := topology.NewDistances(c, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := topology.NewHierarchy(c, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, heur := range oracleHeuristics {
+			scan, err := heur(nil, d, &Options{Kernel: KernelScan})
+			if err != nil {
+				t.Fatalf("%s scan: %v", name, err)
+			}
+			bucketed, err := heur(nil, d, &Options{Kernel: KernelBucketed})
+			if err != nil {
+				t.Fatalf("%s bucketed: %v", name, err)
+			}
+			compact, err := heur(nil, h, nil)
+			if err != nil {
+				t.Fatalf("%s compact: %v", name, err)
+			}
+			if !equalMappings(scan, bucketed) || !equalMappings(scan, compact) {
+				t.Fatalf("%s diverged (p=%d %v nodes=%v)\nscan:     %v\nbucketed: %v\ncompact:  %v",
+					name, p, kind, nodes, scan, bucketed, compact)
+			}
+		}
+	})
+}

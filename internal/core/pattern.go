@@ -80,6 +80,24 @@ func (p Pattern) ContextHeuristic() ContextHeuristic {
 	}
 }
 
+// OracleHeuristic returns the kernel-agnostic variant of the pattern's
+// fine-tuned mapping heuristic, usable with the compact topology.Hierarchy
+// oracle as well as the dense matrix.
+func (p Pattern) OracleHeuristic() OracleHeuristic {
+	switch p {
+	case RecursiveDoubling:
+		return RDMHOracle
+	case Ring:
+		return RMHOracle
+	case BinomialBroadcast:
+		return BBMHOracle
+	case BinomialGather:
+		return BGMHOracle
+	default:
+		return nil
+	}
+}
+
 // ParsePattern returns the pattern whose String() form is name.
 func ParsePattern(name string) (Pattern, error) {
 	for _, p := range Patterns {

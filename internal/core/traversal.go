@@ -49,14 +49,20 @@ func BBMHWithTraversal(d *topology.Distances, opts *Options, tr Traversal) (Mapp
 
 // BBMHWithTraversalContext is BBMHWithTraversal with context cancellation
 // checked on every placement.
-func BBMHWithTraversalContext(ctx context.Context, d *topology.Distances, opts *Options, tr Traversal) (m Mapping, err error) {
-	mp, err := newMapper(d, opts)
+func BBMHWithTraversalContext(ctx context.Context, d *topology.Distances, opts *Options, tr Traversal) (Mapping, error) {
+	return BBMHWithTraversalOracle(ctx, d, opts, tr)
+}
+
+// BBMHWithTraversalOracle is BBMHWithTraversal over an arbitrary distance
+// oracle.
+func BBMHWithTraversalOracle(ctx context.Context, o topology.Oracle, opts *Options, tr Traversal) (m Mapping, err error) {
+	mp, err := newMapper(o, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer instrumentMapping("bbmh", time.Now(), mp, &err)
 	mp.ctx = ctx
-	p := d.N()
+	p := o.N()
 	switch tr {
 	case SmallerSubtreeFirst, LargerSubtreeFirst:
 		var rec func(r, span int) error

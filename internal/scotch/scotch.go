@@ -29,20 +29,21 @@ type Options struct {
 }
 
 // Map assigns the vertices of guest (processes, indexed by rank in the
-// collective's pattern) to the slots of the host distance matrix d (cores,
-// indexed by initial rank), returning the result in the same Mapping form
-// the fine-tuned heuristics produce: M[rank] = slot.
+// collective's pattern) to the slots of the host distance oracle d (cores,
+// indexed by initial rank — the dense matrix or a compact
+// topology.Hierarchy), returning the result in the same Mapping form the
+// fine-tuned heuristics produce: M[rank] = slot.
 //
 // The guest graph and host must have the same cardinality (one process per
 // core, as in the paper's dedicated allocations).
-func Map(guest *graph.Graph, d *topology.Distances, opts *Options) (core.Mapping, error) {
+func Map(guest *graph.Graph, d topology.Oracle, opts *Options) (core.Mapping, error) {
 	return MapContext(nil, guest, d, opts)
 }
 
 // MapContext is Map with context cancellation checked at every level of the
 // dual recursive bipartitioning, so a deadline interrupts the mapper between
 // bisections. A nil context disables the checks.
-func MapContext(ctx context.Context, guest *graph.Graph, d *topology.Distances, opts *Options) (core.Mapping, error) {
+func MapContext(ctx context.Context, guest *graph.Graph, d topology.Oracle, opts *Options) (core.Mapping, error) {
 	if guest == nil || d == nil {
 		return nil, fmt.Errorf("scotch: nil guest or host")
 	}
@@ -75,7 +76,7 @@ func MapContext(ctx context.Context, guest *graph.Graph, d *topology.Distances, 
 // mapRec performs one level of dual recursive bipartitioning: split the host
 // slots into two physically cohesive halves, split the guest vertices into
 // matching-size halves of minimal cut weight, pair them up and recurse.
-func mapRec(ctx context.Context, guest *graph.Graph, d *topology.Distances, verts, slots []int, m core.Mapping, bopt graph.BisectOptions) error {
+func mapRec(ctx context.Context, guest *graph.Graph, d topology.Oracle, verts, slots []int, m core.Mapping, bopt graph.BisectOptions) error {
 	if len(verts) != len(slots) {
 		panic("scotch: internal imbalance between guest and host halves")
 	}
@@ -105,7 +106,7 @@ func mapRec(ctx context.Context, guest *graph.Graph, d *topology.Distances, vert
 // a pole follows the machine hierarchy (socket < node < leaf < ...), so the
 // halves align with physical enclosures exactly as an architecture
 // decomposition would.
-func bisectHost(d *topology.Distances, slots []int) (a, b []int) {
+func bisectHost(d topology.Oracle, slots []int) (a, b []int) {
 	k := len(slots)
 	// Poles: approximate the most distant pair with two sweeps (exact
 	// search is quadratic and unnecessary on hierarchical metrics).
@@ -144,7 +145,7 @@ func bisectHost(d *topology.Distances, slots []int) (a, b []int) {
 
 // farthestFrom returns the slot in slots with maximum distance from ref
 // (lowest index on ties).
-func farthestFrom(d *topology.Distances, slots []int, ref int) int {
+func farthestFrom(d topology.Oracle, slots []int, ref int) int {
 	best, bestDist := slots[0], int32(-1)
 	for _, s := range slots {
 		if dist := d.At(ref, s); dist > bestDist {

@@ -239,16 +239,18 @@ func (s *Service) leaderCompute(ctx context.Context, c *compiled, mark func(stri
 // candidate is one heuristic in the running for a request.
 type candidate struct {
 	name string
-	fn   func(ctx context.Context, d *topology.Distances) (core.Mapping, error)
+	fn   func(ctx context.Context, d topology.Oracle) (core.Mapping, error)
 }
 
-// contextHeuristics maps selector names to the cancellable heuristics.
-var contextHeuristics = map[string]core.ContextHeuristic{
-	"rdmh": core.RDMHContext,
-	"rmh":  core.RMHContext,
-	"bbmh": core.BBMHContext,
-	"bgmh": core.BGMHContext,
-	"bkmh": core.BKMHContext,
+// contextHeuristics maps selector names to the cancellable heuristics. The
+// oracle form lets the service feed them the compact hierarchical
+// representation: for hierarchical clusters no O(p²) matrix is ever built.
+var contextHeuristics = map[string]core.OracleHeuristic{
+	"rdmh": core.RDMHOracle,
+	"rmh":  core.RMHOracle,
+	"bbmh": core.BBMHOracle,
+	"bgmh": core.BGMHOracle,
+	"bkmh": core.BKMHOracle,
 }
 
 // autoCandidates is the field "auto" races: the paper's four fine-tuned
@@ -260,12 +262,12 @@ var autoCandidates = []string{"rdmh", "rmh", "bbmh", "bgmh"}
 func (s *Service) candidates(c *compiled) ([]candidate, error) {
 	wrap := func(name string) candidate {
 		h := contextHeuristics[name]
-		return candidate{name: name, fn: func(ctx context.Context, d *topology.Distances) (core.Mapping, error) {
+		return candidate{name: name, fn: func(ctx context.Context, d topology.Oracle) (core.Mapping, error) {
 			return h(ctx, d, nil)
 		}}
 	}
 	scotchCand := func() candidate {
-		return candidate{name: "scotch", fn: func(ctx context.Context, d *topology.Distances) (core.Mapping, error) {
+		return candidate{name: "scotch", fn: func(ctx context.Context, d topology.Oracle) (core.Mapping, error) {
 			guest := c.graph
 			if guest == nil {
 				var err error
@@ -311,9 +313,20 @@ type evaluation struct {
 // every candidate heuristic in parallel, then selection by modelled cost.
 func (s *Service) run(ctx context.Context, c *compiled, mark func(string)) (*Response, error) {
 	s.stats.computed()
-	d, err := topology.NewDistances(c.cluster, c.layout)
-	if err != nil {
-		return nil, err
+	// Prefer the compact hierarchical oracle: O(p) memory and the bucketed
+	// find-closest kernel. Non-hierarchical clusters (tori) fall back to the
+	// dense matrix and the scan kernel.
+	var d topology.Oracle
+	if h, herr := topology.NewHierarchy(c.cluster, c.layout); herr == nil {
+		d = h
+		mark("oracle:hierarchy")
+	} else {
+		dense, err := topology.NewDistances(c.cluster, c.layout)
+		if err != nil {
+			return nil, err
+		}
+		d = dense
+		mark("oracle:dense")
 	}
 	mark("distances")
 	if ctx.Err() != nil {
@@ -370,7 +383,7 @@ func (s *Service) run(ctx context.Context, c *compiled, mark func(string)) (*Res
 // evaluate computes one candidate's mapping and its modelled cost: the
 // summed reordered latency across the size sweep for named patterns, the
 // weighted-distance objective for explicit graphs.
-func (s *Service) evaluate(ctx context.Context, c *compiled, d *topology.Distances, cand candidate) evaluation {
+func (s *Service) evaluate(ctx context.Context, c *compiled, d topology.Oracle, cand candidate) evaluation {
 	ev := evaluation{name: cand.name}
 	ev.mapping, ev.err = cand.fn(ctx, d)
 	if ev.err != nil {
@@ -444,7 +457,7 @@ func orderModeOf(name string) (sched.OrderMode, error) {
 
 // graphCostOf is the mapping objective for explicit graphs: total
 // weight x distance over every edge, with process u placed on slot m[u].
-func graphCostOf(g *graph.Graph, d *topology.Distances, m core.Mapping) int64 {
+func graphCostOf(g *graph.Graph, d topology.Oracle, m core.Mapping) int64 {
 	var sum int64
 	for u := 0; u < g.N(); u++ {
 		for _, e := range g.Neighbors(u) {

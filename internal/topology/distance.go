@@ -1,6 +1,9 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Distance units. The absolute values are unimportant to the mapping
 // heuristics — only the ordering matters — but they are chosen so that every
@@ -51,6 +54,14 @@ func (c *Cluster) CoreDistance(a, b int) int {
 type Distances struct {
 	Cores []int   // global core index of each row/column
 	D     []int32 // len = len(Cores)^2, row-major
+
+	// hier caches the compact hierarchical view of the matrix: attached at
+	// construction when the cluster's network is hierarchical, otherwise
+	// inferred lazily (and at most once) from the matrix values by
+	// Hierarchy(). nil after hierDone means the matrix is not hierarchical.
+	hier     *Hierarchy
+	hierDone bool
+	hierOnce sync.Once
 }
 
 // NewDistances computes the distance matrix for the given global core set on
@@ -68,14 +79,64 @@ func NewDistances(c *Cluster, cores []int) (*Distances, error) {
 		}
 	}
 	d := &Distances{Cores: cores, D: make([]int32, n*n)}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dist := int32(c.CoreDistance(cores[i], cores[j]))
-			d.D[i*n+j] = dist
-			d.D[j*n+i] = dist
+	// Rows are independent, so fill them across GOMAXPROCS workers. Each
+	// worker computes full rows (both triangles) with the exact CoreDistance
+	// arithmetic, so the values — and hence every persisted fingerprint —
+	// are identical to the serial upper-triangle fill this replaces.
+	nodeOf := make([]int, n)
+	sockOf := make([]int, n)
+	for s, core := range cores {
+		nodeOf[s] = c.NodeOf(core)
+		sockOf[s] = c.SocketOf(core)
+	}
+	parallelRows(n, func(i int) error {
+		row := d.D[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			var dist int32
+			if nodeOf[i] == nodeOf[j] {
+				if sockOf[i] == sockOf[j] {
+					dist = distSameSocket
+				} else {
+					dist = distSameNode
+				}
+			} else if c.Net == nil {
+				dist = distInterNodeOff + distPerHop*2
+			} else {
+				dist = int32(distInterNodeOff + distPerHop*c.Net.Hops(nodeOf[i], nodeOf[j]))
+			}
+			row[j] = dist
 		}
+		return nil
+	})
+	// Attach the compact view up front when the network supports it: the
+	// heuristics then pick the bucketed kernel without a lazy inference pass.
+	if h, err := NewHierarchy(c, cores); err == nil {
+		d.hier, d.hierDone = h, true
+		d.hierOnce.Do(func() {})
 	}
 	return d, nil
+}
+
+// Hierarchy returns the compact hierarchical view of the matrix, or nil when
+// the matrix is not a nested hierarchy (tori, arbitrary metrics). For
+// matrices built by NewDistances on hierarchical clusters the view is
+// attached at construction; otherwise the first call runs a full
+// InferHierarchy pass over the matrix and the result — either way — is
+// cached. Safe for concurrent use provided no caller mutates D.
+func (d *Distances) Hierarchy() *Hierarchy {
+	d.hierOnce.Do(func() {
+		if d.hierDone {
+			return
+		}
+		d.hierDone = true
+		if h, err := InferHierarchy(d); err == nil {
+			d.hier = h
+		}
+	})
+	return d.hier
 }
 
 // N returns the number of cores covered by the matrix.

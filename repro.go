@@ -29,6 +29,12 @@ type (
 	// Distances is the core-to-core physical distance matrix consumed by
 	// the mapping heuristics.
 	Distances = topology.Distances
+	// DistanceOracle is the read interface the heuristics actually need —
+	// implemented by both *Distances and the compact *Hierarchy.
+	DistanceOracle = topology.Oracle
+	// Hierarchy is the O(p)-memory hierarchical distance oracle for
+	// fat-tree-like clusters; at p=4096 it replaces the 64 MB dense matrix.
+	Hierarchy = topology.Hierarchy
 	// LayoutKind names an initial process-to-core layout policy.
 	LayoutKind = topology.LayoutKind
 )
@@ -76,6 +82,14 @@ func NewLayoutOnNodes(c *Cluster, p int, k LayoutKind, nodes []int) ([]int, erro
 // modelled discovery instead.
 func NewDistances(c *Cluster, cores []int) (*Distances, error) {
 	return topology.NewDistances(c, cores)
+}
+
+// NewHierarchy computes the compact hierarchical distance oracle over the
+// given cores — equivalent to NewDistances entry for entry on hierarchical
+// interconnects (fat-trees, uniform networks) but in O(p) memory. It fails
+// for non-hierarchical networks such as tori; use NewDistances there.
+func NewHierarchy(c *Cluster, cores []int) (*Hierarchy, error) {
+	return topology.NewHierarchy(c, cores)
 }
 
 // Mapping is a rank permutation: Mapping[newRank] = initial rank whose core
