@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/mpi"
+	"repro/internal/sched"
 )
 
 // Placement maps a communicator rank to the output-buffer block position of
@@ -70,15 +71,16 @@ func RingAllgather(c *mpi.Comm, send, recv []byte, place Placement) error {
 	if p == 1 {
 		return nil
 	}
-	next, prev := (me+1)%p, (me-1+p)%p
+	next, prev := sched.RingNext(me, p), sched.RingPrev(me, p)
 	for t := 0; t < p-1; t++ {
 		if c.Tracing() {
 			c.TracePoint(fmt.Sprintf("ring stage %d", t))
 		}
 		// Forward the block contributed by rank (me - t); receive the one
-		// contributed by rank (me - 1 - t).
-		outOwner := ((me-t)%p + p) % p
-		inOwner := ((me-1-t)%p + p) % p
+		// contributed by rank (me - 1 - t). The owner arithmetic is shared
+		// with the schedule generator.
+		outOwner := sched.RingSendOwner(me, t, p)
+		inOwner := sched.RingRecvOwner(me, t, p)
 		out := recv[position(place, outOwner)*blk : (position(place, outOwner)+1)*blk]
 		if err := c.Send(next, tagAllgather+t, out); err != nil {
 			return err
@@ -152,12 +154,8 @@ func BruckAllgather(c *mpi.Comm, send, recv []byte) error {
 	cnt := 1
 	stage := 0
 	for pow := 1; pow < p; pow <<= 1 {
-		n := pow
-		if p-pow < n {
-			n = p - pow
-		}
-		dst := ((me-pow)%p + p) % p
-		src := (me + pow) % p
+		// Peer and count arithmetic is shared with the schedule generator.
+		dst, src, n := sched.BruckStep(me, pow, p)
 		in, err := c.SendRecv(dst, tmp[:n*blk], src, tagAllgather+stage)
 		if err != nil {
 			return err

@@ -94,9 +94,54 @@ func HierarchicalAllreduce(c *mpi.Comm, buf []byte, op ReduceOp, nodeID func(wor
 	return BinomialBroadcast(nodeComm, 0, buf)
 }
 
-// Allreduce is the flat fallback: binomial reduce to rank 0 followed by
-// binomial broadcast.
+// RabenseifnerThresholdBytes is the buffer size at and above which Allreduce
+// prefers the reduce-scatter + allgather (Rabenseifner) schedule when the
+// communicator shape admits it, matching the large-message switch point of
+// MPI libraries.
+const RabenseifnerThresholdBytes = 32768
+
+// selectAllreduceSchedule picks the compiled reduction program for p ranks
+// and an n-byte buffer: the Rabenseifner reduce-scatter + allgather for
+// large buffers on power-of-two communicators whose buffer divides into p
+// blocks, and the binomial reduce + broadcast tree otherwise.
+func selectAllreduceSchedule(p, n int) (*sched.Schedule, string, error) {
+	if p > 1 && p&(p-1) == 0 && n%p == 0 && n >= RabenseifnerThresholdBytes {
+		s, err := sched.ReduceScatterAllgather(p)
+		return s, "rabenseifner", err
+	}
+	s, err := sched.BinomialReduceBroadcast(p)
+	return s, "allreduce", err
+}
+
+// Allreduce combines buf in place across all ranks: the buffer shape selects
+// between the Rabenseifner reduce-scatter + allgather schedule and the
+// binomial reduce + broadcast tree, and the compiled schedule runs on the
+// generic executor. op must be associative and commutative.
 func Allreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
+	if len(buf) == 0 {
+		return fmt.Errorf("collective: empty allreduce buffer")
+	}
+	if op == nil {
+		return fmt.Errorf("collective: nil reduce op")
+	}
+	s, label, err := selectAllreduceSchedule(c.Size(), len(buf))
+	if err != nil {
+		return err
+	}
+	prog, err := sched.CompileCached(s)
+	if err != nil {
+		return err
+	}
+	defer beginCollective(label)()
+	name := "allreduce/" + label
+	c.TraceEnter(name)
+	defer c.TraceExit(name)
+	return ExecuteAllreduce(c, prog, buf, op)
+}
+
+// AllreduceLegacy is the hand-written flat fallback: binomial reduce to rank
+// 0 followed by binomial broadcast. Kept as the equivalence baseline.
+func AllreduceLegacy(c *mpi.Comm, buf []byte, op ReduceOp) error {
 	if len(buf) == 0 {
 		return fmt.Errorf("collective: empty allreduce buffer")
 	}
@@ -107,29 +152,11 @@ func Allreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
 	return BinomialBroadcast(c, 0, buf)
 }
 
-// AllreduceSchedule builds the priceable schedule of the flat allreduce:
-// the binomial gather stages (fixed-size messages, since reductions combine
-// rather than concatenate) followed by the binomial broadcast stages. Used
-// by the extension benchmarks.
+// AllreduceSchedule builds the priceable schedule of the flat allreduce: the
+// binomial reduce stages (fixed-size messages, since reductions combine
+// rather than concatenate) followed by the binomial broadcast stages. It
+// delegates to the sched builder the executor runs, so the benchmarked
+// schedule is the executed one.
 func AllreduceSchedule(p int) (*sched.Schedule, error) {
-	red, err := sched.BinomialBroadcast(p, 1) // same edge set as the reduce, reversed
-	if err != nil {
-		return nil, err
-	}
-	bc, err := sched.BinomialBroadcast(p, 1)
-	if err != nil {
-		return nil, err
-	}
-	s := &sched.Schedule{Name: "allreduce", P: p}
-	// Reduce: broadcast stages reversed, with transfer directions flipped.
-	for i := len(red.Stages) - 1; i >= 0; i-- {
-		st := sched.Stage{Repeat: red.Stages[i].Repeat}
-		for _, tr := range red.Stages[i].Transfers {
-			tr.Src, tr.Dst = tr.Dst, tr.Src
-			st.Transfers = append(st.Transfers, tr)
-		}
-		s.Stages = append(s.Stages, st)
-	}
-	s.Stages = append(s.Stages, bc.Stages...)
-	return s, nil
+	return sched.BinomialReduceBroadcast(p)
 }

@@ -1,0 +1,253 @@
+// The generic schedule executor: runs any compiled sched.Program on an
+// mpi.Comm, stage by stage. This is the convergence point of the Schedule-IR
+// refactor — the same compiled program that simnet prices is what moves real
+// bytes here, so the cost model and the runtime cannot drift apart.
+//
+// Execution model: every rank walks its precompiled linear step stream
+// (sched.Program.RankSteps). Within an expanded stage a rank performs all of
+// its sends before its receives; the runtime's Send is asynchronous and
+// buffered, so sends never block and the stage cannot deadlock regardless of
+// the schedule's communication structure. Each expanded stage uses its own
+// tag, and both sender and receiver process a stage's ops in ascending op
+// order, so the runtime's FIFO (src, tag) matching pairs messages
+// consistently even when one pair of ranks exchanges several messages in
+// one stage.
+package collective
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// tag base for the schedule executor; the expanded stage index is added.
+const tagSchedule = 9 << 20
+
+// scheduleProgram is the compiled-schedule selection table for flat
+// allgathers: it maps a resolved algorithm and rank count to a cached
+// compiled program.
+func scheduleProgram(alg Algorithm, p int) (*sched.Program, error) {
+	var s *sched.Schedule
+	var err error
+	switch alg {
+	case AlgRecursiveDoubling:
+		s, err = sched.RecursiveDoubling(p)
+	case AlgRing:
+		s, err = sched.Ring(p)
+	case AlgBruck:
+		s, err = sched.Bruck(p)
+	case AlgNeighborExchange:
+		if p == 1 {
+			s, err = sched.Ring(1) // degenerate single-rank schedule
+		} else {
+			s, err = sched.NeighborExchange(p)
+		}
+	default:
+		return nil, fmt.Errorf("collective: no schedule for algorithm %v", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sched.CompileCached(s)
+}
+
+// executeProgram runs the main stages of prog on c over buf, a
+// prog.Blocks-block buffer with blk bytes per block. place relocates block
+// identifiers to buffer positions (allgather programs whose block space is
+// the rank space; nil is the identity). op combines delivered blocks on
+// Reduce stages and must be non-nil when the program has any.
+func executeProgram(c *mpi.Comm, prog *sched.Program, buf []byte, blk int, place Placement, op ReduceOp) error {
+	if prog.P != c.Size() {
+		return fmt.Errorf("collective: program %q is compiled for %d ranks, communicator has %d",
+			prog.Name, prog.P, c.Size())
+	}
+	if err := prog.EnsureExecutable(); err != nil {
+		return err
+	}
+	scheduleExecutions.With("algorithm", prog.Name).Inc()
+	transfers := scheduleTransfers.With("algorithm", prog.Name)
+	bytesSent := scheduleBytes.With("algorithm", prog.Name)
+	stageSeconds := scheduleStageSeconds.With("algorithm", prog.Name)
+
+	me := c.Rank()
+	steps := prog.RankSteps(me)
+	stages := prog.ExecStages()
+	ops := prog.Ops()
+	var out []byte
+	cur := int32(-1)
+	var stageStart time.Time
+	for _, stp := range steps {
+		if stp.Stage != cur {
+			if cur >= 0 {
+				stageSeconds.Observe(time.Since(stageStart).Seconds())
+			}
+			cur = stp.Stage
+			stageStart = time.Now()
+			if c.Tracing() {
+				c.TracePoint(fmt.Sprintf("sched %s stage %d", prog.Name, stp.Stage))
+			}
+		}
+		o := ops[stp.Op]
+		blocks := prog.OpBlocks(o)
+		tag := tagSchedule + int(stp.Stage)
+		if stp.Send {
+			out = out[:0]
+			for _, b := range blocks {
+				pos := position(place, int(b))
+				out = append(out, buf[pos*blk:(pos+1)*blk]...)
+			}
+			if err := c.Send(int(o.Dst), tag, out); err != nil {
+				return err
+			}
+			transfers.Inc()
+			bytesSent.Add(uint64(len(out)))
+			continue
+		}
+		in, err := c.Recv(int(o.Src), tag)
+		if err != nil {
+			return err
+		}
+		if len(in) != len(blocks)*blk {
+			return fmt.Errorf("collective: schedule %q stage %d: received %d bytes, want %d",
+				prog.Name, stp.Stage, len(in), len(blocks)*blk)
+		}
+		if stages[stp.Stage].Reduce {
+			if op == nil {
+				return fmt.Errorf("collective: schedule %q has reduce stages but no reduce operator", prog.Name)
+			}
+			for k, b := range blocks {
+				pos := position(place, int(b))
+				op(buf[pos*blk:(pos+1)*blk], in[k*blk:(k+1)*blk])
+			}
+		} else {
+			for k, b := range blocks {
+				pos := position(place, int(b))
+				copy(buf[pos*blk:(pos+1)*blk], in[k*blk:(k+1)*blk])
+			}
+		}
+	}
+	if cur >= 0 {
+		stageSeconds.Observe(time.Since(stageStart).Seconds())
+	}
+	return nil
+}
+
+// ExecuteAllgather runs a compiled allgather program: rank r contributes
+// send and recv ends with every rank's block. place relocates contributors'
+// blocks in the output, exactly as in RingAllgather.
+func ExecuteAllgather(c *mpi.Comm, prog *sched.Program, send, recv []byte, place Placement) error {
+	blk, err := checkAllgatherArgs(c, send, recv)
+	if err != nil {
+		return err
+	}
+	if prog.Init != sched.InitOwn || prog.Blocks != prog.P {
+		return fmt.Errorf("collective: program %q is not an allgather program", prog.Name)
+	}
+	copy(recv[position(place, c.Rank())*blk:], send)
+	return executeProgram(c, prog, recv, blk, place, nil)
+}
+
+// ExecuteAllreduce runs a compiled reduction program (InitAll) over buf,
+// combined in place on every rank with op.
+func ExecuteAllreduce(c *mpi.Comm, prog *sched.Program, buf []byte, op ReduceOp) error {
+	if len(buf) == 0 {
+		return fmt.Errorf("collective: empty allreduce buffer")
+	}
+	if op == nil {
+		return fmt.Errorf("collective: nil reduce op")
+	}
+	if prog.Init != sched.InitAll {
+		return fmt.Errorf("collective: program %q is not a reduction program", prog.Name)
+	}
+	if len(buf)%prog.Blocks != 0 {
+		return fmt.Errorf("collective: allreduce buffer of %d bytes does not divide into %d blocks",
+			len(buf), prog.Blocks)
+	}
+	return executeProgram(c, prog, buf, len(buf)/prog.Blocks, nil, op)
+}
+
+// ExecuteBroadcast runs a compiled broadcast program (InitRoot): the root's
+// data buffer reaches every rank. All ranks pass a buffer of equal size,
+// divisible into the program's block count; only the root's content matters
+// on entry.
+func ExecuteBroadcast(c *mpi.Comm, prog *sched.Program, data []byte) error {
+	if prog.Init != sched.InitRoot {
+		return fmt.Errorf("collective: program %q is not a broadcast program", prog.Name)
+	}
+	if len(data) == 0 || len(data)%prog.Blocks != 0 {
+		return fmt.Errorf("collective: broadcast buffer of %d bytes does not divide into %d blocks",
+			len(data), prog.Blocks)
+	}
+	return executeProgram(c, prog, data, len(data)/prog.Blocks, nil, nil)
+}
+
+// ExecuteScatter runs a compiled scatter program: the root's data (one block
+// per rank) is distributed so that rank r ends with block r in out. data is
+// read on the root only.
+func ExecuteScatter(c *mpi.Comm, prog *sched.Program, data, out []byte) error {
+	if prog.Init != sched.InitRoot {
+		return fmt.Errorf("collective: program %q is not a root-seeded program", prog.Name)
+	}
+	blk := len(out)
+	if blk == 0 {
+		return fmt.Errorf("collective: empty scatter output buffer")
+	}
+	buf := make([]byte, prog.Blocks*blk)
+	if c.Rank() == prog.Root {
+		if len(data) != len(buf) {
+			return fmt.Errorf("collective: scatter root data is %d bytes, want %d", len(data), len(buf))
+		}
+		copy(buf, data)
+	}
+	if err := executeProgram(c, prog, buf, blk, nil, nil); err != nil {
+		return err
+	}
+	copy(out, buf[c.Rank()*blk:(c.Rank()+1)*blk])
+	return nil
+}
+
+// ExecuteGather runs a compiled gather program: every rank contributes send;
+// on the root, recv (one block per rank) ends with all contributions in rank
+// order. recv may be nil on non-roots.
+func ExecuteGather(c *mpi.Comm, prog *sched.Program, root int, send, recv []byte) error {
+	blk := len(send)
+	if blk == 0 {
+		return fmt.Errorf("collective: empty gather send buffer")
+	}
+	if prog.Init != sched.InitOwn || prog.Blocks != prog.P {
+		return fmt.Errorf("collective: program %q is not a gather program", prog.Name)
+	}
+	buf := recv
+	if c.Rank() == root {
+		if len(recv) != prog.Blocks*blk {
+			return fmt.Errorf("collective: gather recv buffer is %d bytes, want %d", len(recv), prog.Blocks*blk)
+		}
+	} else {
+		buf = make([]byte, prog.Blocks*blk)
+	}
+	copy(buf[c.Rank()*blk:], send)
+	return executeProgram(c, prog, buf, blk, nil, nil)
+}
+
+// ScheduleHierarchicalAllgather runs the three-phase hierarchical allgather
+// through a compiled schedule. groups lists, per node, the member ranks
+// (leader first); unlike the Split-based HierarchicalAllgather the node
+// structure must be known identically on every rank, which lets the whole
+// composition compile to one static program.
+func ScheduleHierarchicalAllgather(c *mpi.Comm, send, recv []byte, groups [][]int, cfg sched.HierarchicalConfig) error {
+	s, err := sched.Hierarchical(groups, cfg)
+	if err != nil {
+		return err
+	}
+	prog, err := sched.CompileCached(s)
+	if err != nil {
+		return err
+	}
+	defer beginCollective("hierarchical")()
+	name := "allgather/" + prog.Name
+	c.TraceEnter(name)
+	defer c.TraceExit(name)
+	return ExecuteAllgather(c, prog, send, recv, nil)
+}

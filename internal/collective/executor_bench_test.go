@@ -1,0 +1,89 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// BenchmarkScheduleExecutor measures the schedule pipeline's three costs:
+// cold compile (pricing view + executable expansion), warm compile (a cache
+// hit), and end-to-end execution on the goroutine runtime, compared against
+// the legacy hand-written loops at the same scale.
+func BenchmarkScheduleExecutor(b *testing.B) {
+	for _, p := range []int{64, 256, 1024} {
+		s, err := sched.Ring(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("CompileCold/p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched.ResetCompileCache()
+				prog, err := sched.CompileCached(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := prog.EnsureExecutable(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("CompileWarm/p%d", p), func(b *testing.B) {
+			sched.ResetCompileCache()
+			if _, err := sched.CompileCached(s); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.CompileCached(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	execCases := []struct {
+		alg Algorithm
+		p   int
+	}{
+		{AlgRecursiveDoubling, 64},
+		{AlgRecursiveDoubling, 256},
+		{AlgRecursiveDoubling, 1024},
+		{AlgRing, 64},
+		{AlgRing, 256},
+	}
+	const blk = 64
+	for _, tc := range execCases {
+		prog, err := scheduleProgram(tc.alg, tc.p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := prog.EnsureExecutable(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Execute/%v/p%d", tc.alg, tc.p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(tc.p, func(c *mpi.Comm) error {
+					recv := make([]byte, tc.p*blk)
+					return ExecuteAllgather(c, prog, input(c.Rank(), blk), recv, nil)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ExecuteLegacy/%v/p%d", tc.alg, tc.p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(tc.p, func(c *mpi.Comm) error {
+					recv := make([]byte, tc.p*blk)
+					return AllgatherLegacy(c, input(c.Rank(), blk), recv, tc.alg)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

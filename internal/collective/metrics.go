@@ -18,6 +18,20 @@ var (
 	collectivePhase = metrics.NewHistogramVec("collective_phase_seconds",
 		"Per-rank wall time of collective phases.", metrics.DurationOpts,
 		"algorithm", "phase")
+
+	// schedule_* families instrument the generic schedule executor, labelled
+	// by the compiled program's algorithm name. Compile-time metrics
+	// (schedule_compile_seconds, schedule_cache_{hits,misses}_total) live in
+	// package sched next to the compiler.
+	scheduleExecutions = metrics.NewCounterVec("schedule_executions_total",
+		"Schedule-executor runs, one per participating rank.", "algorithm")
+	scheduleStageSeconds = metrics.NewHistogramVec("schedule_stage_seconds",
+		"Per-rank wall time of executed schedule stages.", metrics.DurationOpts,
+		"algorithm")
+	scheduleTransfers = metrics.NewCounterVec("schedule_transfers_total",
+		"Messages sent by the schedule executor.", "algorithm")
+	scheduleBytes = metrics.NewCounterVec("schedule_bytes_total",
+		"Payload bytes sent by the schedule executor.", "algorithm")
 )
 
 // knownAlgorithms pre-registers the per-algorithm series so that /metrics
@@ -30,10 +44,27 @@ var knownAlgorithms = []string{
 	"allreduce", "hierarchical-allreduce", "rabenseifner", "binomial-reduce",
 }
 
+// knownSchedules pre-registers the executor series for every compiled
+// program name the selection tables can produce.
+var knownSchedules = []string{
+	"ring", "recursive-doubling", "bruck", "neighbor-exchange",
+	"allreduce", "reduce-scatter-allgather",
+	"binomial-gather", "binomial-broadcast", "linear-gather",
+	"linear-broadcast", "binomial-scatter", "scatter-allgather-broadcast",
+	"hierarchical-linear-ring", "hierarchical-linear-recursive-doubling",
+	"hierarchical-non-linear-ring", "hierarchical-non-linear-recursive-doubling",
+}
+
 func init() {
 	for _, a := range knownAlgorithms {
 		collectiveInvocations.With("algorithm", a)
 		collectivePhase.With("algorithm", a, "phase", "total")
+	}
+	for _, a := range knownSchedules {
+		scheduleExecutions.With("algorithm", a)
+		scheduleStageSeconds.With("algorithm", a)
+		scheduleTransfers.With("algorithm", a)
+		scheduleBytes.With("algorithm", a)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mpi"
+	"repro/internal/sched"
 )
 
 // tag base for neighbour exchange.
@@ -31,18 +32,11 @@ func NeighborExchangeAllgather(c *mpi.Comm, send, recv []byte, place Placement) 
 	if p == 1 {
 		return nil
 	}
-	// sendFirst/sendN track the contiguous (mod p) block range this rank
-	// forwards next, mirroring the schedule generator.
-	sendFirst, sendN := me, 1
+	// Partner and block-range arithmetic is shared with the schedule
+	// generator (sched.NeighborPartner / sched.NeighborSendRange).
 	for step := 1; step <= p/2; step++ {
-		var partner int
-		if step%2 == 1 {
-			partner = me ^ 1 // pairs (0,1),(2,3),...
-		} else if me%2 == 1 {
-			partner = (me + 1) % p // pairs (1,2),(3,4),...,(p-1,0)
-		} else {
-			partner = (me - 1 + p) % p
-		}
+		partner := sched.NeighborPartner(me, step, p)
+		sendFirst, sendN := sched.NeighborSendRange(me, step, p)
 		// Assemble the outgoing range from the output buffer.
 		out := make([]byte, 0, sendN*blk)
 		for k := 0; k < sendN; k++ {
@@ -55,7 +49,7 @@ func NeighborExchangeAllgather(c *mpi.Comm, send, recv []byte, place Placement) 
 			return err
 		}
 		// The partner's range mirrors ours deterministically.
-		inFirst, inN := sendRangeAt(partner, step, p)
+		inFirst, inN := sched.NeighborSendRange(partner, step, p)
 		if len(in) != inN*blk {
 			return fmt.Errorf("collective: neighbor exchange step %d received %d bytes, want %d",
 				step, len(in), inN*blk)
@@ -65,38 +59,6 @@ func NeighborExchangeAllgather(c *mpi.Comm, send, recv []byte, place Placement) 
 			pos := position(place, owner)
 			copy(recv[pos*blk:(pos+1)*blk], in[k*blk:(k+1)*blk])
 		}
-		if step == 1 {
-			sendFirst, sendN = me&^1, 2
-		} else {
-			sendFirst, sendN = inFirst, inN
-		}
 	}
 	return nil
-}
-
-// neighborOf returns rank r's partner at a given step of the algorithm.
-func neighborOf(r, step, p int) int {
-	if step%2 == 1 {
-		return r ^ 1
-	}
-	if r%2 == 1 {
-		return (r + 1) % p
-	}
-	return (r - 1 + p) % p
-}
-
-// sendRangeAt returns the contiguous (mod p) block range rank r sends at
-// the given step: its own block at step 1, the even-aligned pair after the
-// first exchange, and from then on whatever it received in the previous
-// step — which is what its previous partner sent. The recursion is at most
-// step levels deep with O(1) work per level.
-func sendRangeAt(r, step, p int) (first, n int) {
-	switch step {
-	case 1:
-		return r, 1
-	case 2:
-		return r &^ 1, 2
-	default:
-		return sendRangeAt(neighborOf(r, step-1, p), step-1, p)
-	}
 }

@@ -21,6 +21,9 @@ const (
 	AlgRing
 	// AlgBruck forces the Bruck algorithm.
 	AlgBruck
+	// AlgNeighborExchange forces the neighbour-exchange algorithm (even
+	// communicator sizes). Never chosen by AlgAuto; request it explicitly.
+	AlgNeighborExchange
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +37,8 @@ func (a Algorithm) String() string {
 		return "ring"
 	case AlgBruck:
 		return "bruck"
+	case AlgNeighborExchange:
+		return "neighbor-exchange"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", uint8(a))
 	}
@@ -86,8 +91,30 @@ func Select(a Algorithm, p, blkBytes int) Algorithm {
 }
 
 // Allgather runs the selected flat allgather on c with the standard output
-// contract (block r at offset r).
+// contract (block r at offset r). The selected algorithm is compiled to a
+// sched.Program (cached per shape) and run by the generic schedule executor;
+// AllgatherLegacy keeps the hand-written loops for comparison.
 func Allgather(c *mpi.Comm, send, recv []byte, alg Algorithm) error {
+	blk, err := checkAllgatherArgs(c, send, recv)
+	if err != nil {
+		return err
+	}
+	resolved := Select(alg, c.Size(), blk)
+	prog, err := scheduleProgram(resolved, c.Size())
+	if err != nil {
+		return err
+	}
+	defer beginCollective(resolved.String())()
+	name := "allgather/" + resolved.String()
+	c.TraceEnter(name)
+	defer c.TraceExit(name)
+	return ExecuteAllgather(c, prog, send, recv, nil)
+}
+
+// AllgatherLegacy runs the selected flat allgather through the hand-written
+// per-algorithm loops instead of the schedule executor. Kept as the
+// equivalence baseline and for overhead measurements.
+func AllgatherLegacy(c *mpi.Comm, send, recv []byte, alg Algorithm) error {
 	switch Select(alg, c.Size(), len(send)) {
 	case AlgRecursiveDoubling:
 		return RecursiveDoublingAllgather(c, send, recv)
@@ -95,6 +122,8 @@ func Allgather(c *mpi.Comm, send, recv []byte, alg Algorithm) error {
 		return RingAllgather(c, send, recv, nil)
 	case AlgBruck:
 		return BruckAllgather(c, send, recv)
+	case AlgNeighborExchange:
+		return NeighborExchangeAllgather(c, send, recv, nil)
 	default:
 		return fmt.Errorf("collective: unknown algorithm %v", alg)
 	}
@@ -147,10 +176,18 @@ func (r *Reordered) Allgather(send, recv []byte, alg Algorithm) error {
 	}
 	defer beginCollective("reordered")()
 	resolved := Select(alg, r.re.Size(), blk)
-	if resolved == AlgRing {
+	if resolved == AlgRing || resolved == AlgNeighborExchange {
 		// In-algorithm fix: contributor with new rank j is original rank
-		// mapping[j]; place its block there.
-		return RingAllgather(r.re, send, recv, func(j int) int { return r.mapping[j] })
+		// mapping[j]; the executor places its block there, so no extra
+		// order-preservation mechanism is needed.
+		prog, err := scheduleProgram(resolved, r.re.Size())
+		if err != nil {
+			return err
+		}
+		name := "allgather/" + resolved.String()
+		r.re.TraceEnter(name)
+		defer r.re.TraceExit(name)
+		return ExecuteAllgather(r.re, prog, send, recv, func(j int) int { return r.mapping[j] })
 	}
 
 	switch r.mode {
@@ -198,10 +235,15 @@ func (r *Reordered) Allgather(send, recv []byte, alg Algorithm) error {
 
 func (r *Reordered) runFlat(alg Algorithm, send, recv []byte) error {
 	switch alg {
-	case AlgRecursiveDoubling:
-		return RecursiveDoublingAllgather(r.re, send, recv)
-	case AlgBruck:
-		return BruckAllgather(r.re, send, recv)
+	case AlgRecursiveDoubling, AlgBruck:
+		prog, err := scheduleProgram(alg, r.re.Size())
+		if err != nil {
+			return err
+		}
+		name := "allgather/" + alg.String()
+		r.re.TraceEnter(name)
+		defer r.re.TraceExit(name)
+		return ExecuteAllgather(r.re, prog, send, recv, nil)
 	default:
 		return fmt.Errorf("collective: unexpected algorithm %v in reordered path", alg)
 	}

@@ -43,8 +43,10 @@ func Ring(p int) (*Schedule, error) {
 	}
 	st := Stage{Repeat: p - 1, Transfers: make([]Transfer, 0, p)}
 	for i := 0; i < p; i++ {
+		// First records the block sent on the first repeat (rank i's own);
+		// later repeats forward the block received in the previous one.
 		st.Transfers = append(st.Transfers, Transfer{
-			Src: int32(i), Dst: int32((i + 1) % p), N: 1, Mode: Latest,
+			Src: int32(i), Dst: int32(RingNext(i, p)), First: int32(i), N: 1, Mode: Latest,
 		})
 	}
 	s.Stages = append(s.Stages, st)
@@ -67,15 +69,12 @@ func Bruck(p int) (*Schedule, error) {
 		return s, nil
 	}
 	for pow := 1; pow < p; pow <<= 1 {
-		cnt := pow
-		if p-pow < cnt {
-			cnt = p - pow
-		}
 		st := Stage{Transfers: make([]Transfer, 0, p)}
 		for i := 0; i < p; i++ {
+			dst, _, cnt := BruckStep(i, pow, p)
 			st.Transfers = append(st.Transfers, Transfer{
 				Src:   int32(i),
-				Dst:   int32(((i-pow)%p + p) % p),
+				Dst:   int32(dst),
 				First: int32(i),
 				N:     int32(cnt),
 				Mode:  Range,
@@ -133,7 +132,7 @@ func BinomialBroadcast(p, blocks int) (*Schedule, error) {
 	if blocks <= 0 {
 		return nil, fmt.Errorf("sched: broadcast needs positive block count, got %d", blocks)
 	}
-	s := &Schedule{Name: "binomial-broadcast", P: p}
+	s := &Schedule{Name: "binomial-broadcast", P: p, Blocks: blocks, Init: InitRoot}
 	top := 1
 	for top<<1 < p {
 		top <<= 1
@@ -181,7 +180,7 @@ func LinearBroadcast(p, blocks int) (*Schedule, error) {
 	if blocks <= 0 {
 		return nil, fmt.Errorf("sched: broadcast needs positive block count, got %d", blocks)
 	}
-	s := &Schedule{Name: "linear-broadcast", P: p}
+	s := &Schedule{Name: "linear-broadcast", P: p, Blocks: blocks, Init: InitRoot}
 	var st Stage
 	for i := 1; i < p; i++ {
 		st.Transfers = append(st.Transfers, Transfer{
@@ -206,46 +205,19 @@ func NeighborExchange(p int) (*Schedule, error) {
 		return nil, fmt.Errorf("sched: neighbor exchange needs a positive even rank count, got %d", p)
 	}
 	s := &Schedule{Name: "neighbor-exchange", P: p}
-	if p == 2 {
-		st := Stage{Transfers: []Transfer{
-			{Src: 0, Dst: 1, First: 0, N: 1, Mode: Range},
-			{Src: 1, Dst: 0, First: 1, N: 1, Mode: Range},
-		}}
-		s.Stages = append(s.Stages, st)
-		return s, nil
-	}
-	type rng struct{ first, n int32 }
-	send := make([]rng, p)
-	for i := range send {
-		send[i] = rng{int32(i), 1}
-	}
 	for step := 1; step <= p/2; step++ {
-		var st Stage
-		recv := make([]rng, p)
-		for j := 0; j < p/2; j++ {
-			var a, b int
-			if step%2 == 1 {
-				a, b = 2*j, 2*j+1
-			} else {
-				a, b = (2*j+1)%p, (2*j+2)%p
-			}
-			st.Transfers = append(st.Transfers,
-				Transfer{Src: int32(a), Dst: int32(b), First: send[a].first, N: send[a].n, Mode: Range},
-				Transfer{Src: int32(b), Dst: int32(a), First: send[b].first, N: send[b].n, Mode: Range},
-			)
-			recv[a], recv[b] = send[b], send[a]
+		st := Stage{Transfers: make([]Transfer, 0, p)}
+		for i := 0; i < p; i++ {
+			first, n := NeighborSendRange(i, step, p)
+			st.Transfers = append(st.Transfers, Transfer{
+				Src:   int32(i),
+				Dst:   int32(NeighborPartner(i, step, p)),
+				First: int32(first),
+				N:     int32(n),
+				Mode:  Range,
+			})
 		}
 		s.Stages = append(s.Stages, st)
-		for i := 0; i < p; i++ {
-			if step == 1 {
-				// After the first exchange a rank forwards its own block
-				// together with the one just received: the contiguous even-
-				// aligned pair.
-				send[i] = rng{int32(i &^ 1), 2}
-			} else {
-				send[i] = recv[i]
-			}
-		}
 	}
 	return s, nil
 }
@@ -261,13 +233,15 @@ func ReduceScatterAllgather(p int) (*Schedule, error) {
 	if p <= 0 || p&(p-1) != 0 {
 		return nil, fmt.Errorf("sched: reduce-scatter/allgather needs a power-of-two rank count, got %d", p)
 	}
-	s := &Schedule{Name: "reduce-scatter-allgather", P: p}
+	s := &Schedule{Name: "reduce-scatter-allgather", P: p, Init: InitAll}
 	// Recursive halving: at mask, rank i sends the half of its current
 	// range belonging to partner i^mask. Current range of rank i before
 	// stage mask: the chunks whose indices agree with i on all bits above
 	// mask; the half sent is the one matching the partner's mask bit.
+	// Halving stages combine with the reduction operator (Reduce); the
+	// doubling stages below overwrite with fully reduced chunks.
 	for mask := p / 2; mask >= 1; mask >>= 1 {
-		var st Stage
+		st := Stage{Reduce: true}
 		for i := 0; i < p; i++ {
 			partner := i ^ mask
 			// Sent range: chunks [start, start+mask) where start has i's

@@ -1,0 +1,31 @@
+package sched
+
+// BinomialReduceBroadcast builds the flat allreduce schedule: the binomial
+// reduce to rank 0 (the broadcast tree with every edge reversed and
+// combining semantics, so message sizes stay fixed — reductions combine
+// rather than concatenate) followed by the binomial broadcast of the result.
+// The block space is a single block: every rank starts with its own partial
+// value of it (InitAll) and ends with the fully combined one.
+func BinomialReduceBroadcast(p int) (*Schedule, error) {
+	red, err := BinomialBroadcast(p, 1) // same edge set as the reduce, reversed
+	if err != nil {
+		return nil, err
+	}
+	bc, err := BinomialBroadcast(p, 1)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{Name: "allreduce", P: p, Blocks: 1, Init: InitAll}
+	// Reduce: broadcast stages reversed, with transfer directions flipped
+	// and combining semantics.
+	for i := len(red.Stages) - 1; i >= 0; i-- {
+		st := Stage{Repeat: red.Stages[i].Repeat, Reduce: true}
+		for _, tr := range red.Stages[i].Transfers {
+			tr.Src, tr.Dst = tr.Dst, tr.Src
+			st.Transfers = append(st.Transfers, tr)
+		}
+		s.Stages = append(s.Stages, st)
+	}
+	s.Stages = append(s.Stages, bc.Stages...)
+	return s, nil
+}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Cache instrumentation on the default registry, exported through every
+// /metrics endpoint that serves it (mapd included).
+var (
+	scheduleCacheHits = metrics.NewCounter("schedule_cache_hits_total",
+		"Compiled-schedule cache hits.")
+	scheduleCacheMisses = metrics.NewCounter("schedule_cache_misses_total",
+		"Compiled-schedule cache misses (fresh compiles).")
+	scheduleCompileSeconds = metrics.NewHistogramVec("schedule_compile_seconds",
+		"Schedule compile latency by view (sized pricing view vs expanded executable view).",
+		metrics.DurationOpts, "view")
+)
+
+func init() {
+	scheduleCompileSeconds.With("view", "sized")
+	scheduleCompileSeconds.With("view", "exec")
+}
+
+// Fingerprint returns a collision-resistant key for a schedule's full
+// structural content: name, rank/block/root/init geometry, and every stage's
+// repeat, reduce flag and transfer list. Two schedules with equal
+// fingerprints compile to interchangeable programs. Rank reordering does not
+// change a schedule (it changes the layout, applied at pricing time), so
+// topology does not enter the key; order-preservation prologues do change
+// the Pre stages and therefore the fingerprint.
+func Fingerprint(s *Schedule) string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(s.Name))
+	h.Write([]byte{0})
+	word(int64(s.P))
+	word(int64(s.NumBlocks()))
+	word(int64(s.Root))
+	word(int64(s.Init))
+	word(int64(s.PostCopyBlocks))
+	section := func(stages []Stage, marker byte) {
+		h.Write([]byte{marker})
+		word(int64(len(stages)))
+		for i := range stages {
+			st := &stages[i]
+			word(int64(st.repeats()))
+			reduce := byte(0)
+			if st.Reduce {
+				reduce = 1
+			}
+			h.Write([]byte{reduce})
+			word(int64(len(st.Transfers)))
+			for _, tr := range st.Transfers {
+				word(int64(tr.Src))
+				word(int64(tr.Dst))
+				word(int64(tr.First))
+				word(int64(tr.N))
+				word(int64(tr.Mode))
+			}
+		}
+	}
+	section(s.Pre, 'p')
+	section(s.Stages, 'm')
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// compileCacheCap bounds the cache; the working set of a figure run (a few
+// algorithms x a few mappings) fits comfortably.
+const compileCacheCap = 64
+
+type cacheEntry struct {
+	key  string
+	prog *Program
+}
+
+var compileCache = struct {
+	mu    sync.Mutex
+	ll    *list.List
+	byKey map[string]*list.Element
+}{ll: list.New(), byKey: make(map[string]*list.Element)}
+
+// CompileCached compiles s through a bounded process-wide LRU keyed by the
+// schedule fingerprint, so repeated collectives (and repeated pricings of
+// the same schedule shape) reuse one Program — including its lazily built
+// executable view. Compilation errors are not cached.
+func CompileCached(s *Schedule) (*Program, error) {
+	key := Fingerprint(s)
+	compileCache.mu.Lock()
+	if e, ok := compileCache.byKey[key]; ok {
+		compileCache.ll.MoveToFront(e)
+		prog := e.Value.(*cacheEntry).prog
+		compileCache.mu.Unlock()
+		scheduleCacheHits.Inc()
+		return prog, nil
+	}
+	compileCache.mu.Unlock()
+	scheduleCacheMisses.Inc()
+	prog, err := Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	compileCache.mu.Lock()
+	defer compileCache.mu.Unlock()
+	if e, ok := compileCache.byKey[key]; ok {
+		// A concurrent caller compiled the same schedule first; share its
+		// program so the executable view is built only once.
+		compileCache.ll.MoveToFront(e)
+		return e.Value.(*cacheEntry).prog, nil
+	}
+	compileCache.byKey[key] = compileCache.ll.PushFront(&cacheEntry{key: key, prog: prog})
+	for compileCache.ll.Len() > compileCacheCap {
+		oldest := compileCache.ll.Back()
+		compileCache.ll.Remove(oldest)
+		delete(compileCache.byKey, oldest.Value.(*cacheEntry).key)
+	}
+	return prog, nil
+}
+
+// ResetCompileCache empties the cache (cold-compile benchmarks and tests).
+func ResetCompileCache() {
+	compileCache.mu.Lock()
+	defer compileCache.mu.Unlock()
+	compileCache.ll = list.New()
+	compileCache.byKey = make(map[string]*list.Element)
+}
+
+// CompileCacheCounters returns the cumulative hit and miss counts.
+func CompileCacheCounters() (hits, misses uint64) {
+	return scheduleCacheHits.Value(), scheduleCacheMisses.Value()
+}

@@ -140,7 +140,7 @@ func IntraGather(groups [][]int, kind IntraKind) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Schedule{Name: fmt.Sprintf("intra-gather-%s", kind), P: p, Stages: stages}, nil
+	return &Schedule{Name: fmt.Sprintf("intra-gather-%s", kind), P: p, Stages: stages, Init: InitSizedOnly}, nil
 }
 
 // IntraBroadcast builds the standalone phase-3 schedule: per-node broadcasts
@@ -157,7 +157,7 @@ func IntraBroadcast(groups [][]int, kind IntraKind) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Schedule{Name: fmt.Sprintf("intra-broadcast-%s", kind), P: p, Stages: stages}, nil
+	return &Schedule{Name: fmt.Sprintf("intra-broadcast-%s", kind), P: p, Stages: stages, Init: InitSizedOnly}, nil
 }
 
 // intraPhase builds the merged per-node gather (gather=true) or broadcast
@@ -243,24 +243,28 @@ func interPhase(groups [][]int, leaders []int, kind InterKind) ([]Stage, error) 
 		// stay well-defined only when each group is a contiguous rank run —
 		// the block-layout restriction the paper notes for hierarchical
 		// allgather.
+		lo := make([]int, len(groups))
 		for gi, grp := range groups {
-			lo := grp[0]
+			lo[gi] = grp[0]
 			for _, r := range grp {
-				if r < lo {
-					lo = r
+				if r < lo[gi] {
+					lo[gi] = r
 				}
 			}
 			for _, r := range grp {
-				if r >= lo+len(grp) {
+				if r >= lo[gi]+len(grp) {
 					return nil, fmt.Errorf("sched: inter-leader ring requires contiguous rank groups (block layouts); group %d is not contiguous", gi)
 				}
 			}
 		}
 		var st Stage
 		for i := 0; i < g; i++ {
+			// First repeat: leader i forwards its own node's contiguous
+			// block range [lo, lo+k); later repeats forward what the
+			// previous repeat delivered.
 			st.Transfers = append(st.Transfers, Transfer{
 				Src: int32(leaders[i]), Dst: int32(leaders[(i+1)%g]),
-				N: int32(k), Mode: Latest,
+				First: int32(lo[i]), N: int32(k), Mode: Latest,
 			})
 		}
 		return []Stage{{Transfers: st.Transfers, Repeat: g - 1}}, nil

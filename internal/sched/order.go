@@ -82,7 +82,7 @@ func InitCommSchedule(m core.Mapping) *Schedule {
 			})
 		}
 	}
-	s := &Schedule{Name: "init-comm", P: len(m)}
+	s := &Schedule{Name: "init-comm", P: len(m), Init: InitSizedOnly}
 	if len(st.Transfers) > 0 {
 		s.Stages = []Stage{st}
 	}
@@ -92,7 +92,7 @@ func InitCommSchedule(m core.Mapping) *Schedule {
 // EndShuffleSchedule builds a standalone priceable schedule containing only
 // the end-of-collective local shuffle of a p-block output buffer.
 func EndShuffleSchedule(p int) *Schedule {
-	return &Schedule{Name: "end-shuffle", P: p, PostCopyBlocks: p}
+	return &Schedule{Name: "end-shuffle", P: p, PostCopyBlocks: p, Init: InitSizedOnly}
 }
 
 // WithOrderPreservation returns a copy of s augmented with the chosen

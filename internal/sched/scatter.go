@@ -17,7 +17,7 @@ func BinomialScatter(p int) (*Schedule, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("sched: scatter needs positive rank count, got %d", p)
 	}
-	s := &Schedule{Name: "binomial-scatter", P: p}
+	s := &Schedule{Name: "binomial-scatter", P: p, Init: InitRoot}
 	top := 1
 	for top<<1 < p {
 		top <<= 1
@@ -44,21 +44,18 @@ func BinomialScatter(p int) (*Schedule, error) {
 // VerifyScatter replays s from the scatter initial condition (the root holds
 // every block) and checks that every rank ends up holding its own block.
 func (s *Schedule) VerifyScatter(root int) error {
-	if err := s.Validate(); err != nil {
-		return err
+	all := make([]int32, s.NumBlocks())
+	for i := range all {
+		all[i] = int32(i)
 	}
-	rs := newReplay(s.P, func(r int) []int32 {
+	rs, err := s.replayMain(func(r int) []int32 {
 		if r != root {
 			return nil
 		}
-		all := make([]int32, s.P)
-		for i := range all {
-			all[i] = int32(i)
-		}
 		return all
 	})
-	if err := rs.run(s.Stages); err != nil {
-		return fmt.Errorf("sched: %q: %w", s.Name, err)
+	if err != nil {
+		return err
 	}
 	for r := 0; r < s.P; r++ {
 		if !rs.held[r].has(int32(r)) {
@@ -69,31 +66,11 @@ func (s *Schedule) VerifyScatter(root int) error {
 }
 
 // VerifyChunkedBroadcast replays a schedule whose initial condition is a
-// root holding all P chunks (the scatter-allgather broadcast) and checks
-// that every rank ends holding every chunk.
+// root holding all chunks (the scatter-allgather broadcast) and checks that
+// every rank ends holding every chunk. It is the broadcast contract over
+// the schedule's block space.
 func (s *Schedule) VerifyChunkedBroadcast(root int) error {
-	if err := s.Validate(); err != nil {
-		return err
-	}
-	rs := newReplay(s.P, func(r int) []int32 {
-		if r != root {
-			return nil
-		}
-		all := make([]int32, s.P)
-		for i := range all {
-			all[i] = int32(i)
-		}
-		return all
-	})
-	if err := rs.run(s.Stages); err != nil {
-		return fmt.Errorf("sched: %q: %w", s.Name, err)
-	}
-	for r := 0; r < s.P; r++ {
-		if got := rs.held[r].count(); got != s.P {
-			return fmt.Errorf("sched: %q: rank %d ends with %d of %d chunks", s.Name, r, got, s.P)
-		}
-	}
-	return nil
+	return s.VerifyBroadcast(root)
 }
 
 // ScatterAllgatherBroadcast composes the large-message broadcast schedule:
@@ -108,7 +85,7 @@ func ScatterAllgatherBroadcast(p int) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Schedule{Name: "scatter-allgather-broadcast", P: p}
+	s := &Schedule{Name: "scatter-allgather-broadcast", P: p, Init: InitRoot}
 	s.Stages = append(s.Stages, sc.Stages...)
 	s.Stages = append(s.Stages, ag.Stages...)
 	return s, nil

@@ -30,10 +30,47 @@ const (
 	// All sends every block the sender currently holds. N still records
 	// the statically known block count for pricing.
 	All
-	// Latest forwards the block most recently received by the sender (its
-	// own block on the first repeat) — ring pipelining.
+	// Latest forwards the blocks most recently received by the sender —
+	// ring pipelining. On the first repeat the sender has received nothing
+	// yet and transmits the range [First, First+N) instead, which it must
+	// already hold.
 	Latest
 )
+
+// InitKind declares a schedule's initial block distribution, which seeds
+// both verification replay and the executor's notion of which blocks a rank
+// may legally send before receiving anything.
+type InitKind uint8
+
+const (
+	// InitOwn: rank r initially holds block r (allgather family). This is
+	// the zero value so existing schedules keep their meaning.
+	InitOwn InitKind = iota
+	// InitRoot: Root initially holds every block, all other ranks hold
+	// nothing (scatter, chunked broadcast).
+	InitRoot
+	// InitAll: every rank initially holds every block (reduce-style
+	// schedules, where "holding" a block means holding a partial sum
+	// for it).
+	InitAll
+	// InitSizedOnly: the schedule is priced but has no executable initial
+	// condition (order-fix prologues, pricing-only phase schedules).
+	InitSizedOnly
+)
+
+func (k InitKind) String() string {
+	switch k {
+	case InitOwn:
+		return "own"
+	case InitRoot:
+		return "root"
+	case InitAll:
+		return "all"
+	case InitSizedOnly:
+		return "sized-only"
+	}
+	return "unknown"
+}
 
 // Transfer is one point-to-point message of a stage. Src and Dst are ranks
 // in the collective's rank space; N is the number of per-process data blocks
@@ -53,6 +90,10 @@ type Transfer struct {
 type Stage struct {
 	Transfers []Transfer
 	Repeat    int // execution count; 0 is treated as 1
+	// Reduce marks a combining stage: delivered blocks are merged into the
+	// receiver's copy with the collective's reduction operator instead of
+	// overwriting it (Rabenseifner halving, binomial reduce).
+	Reduce bool
 }
 
 // repeats returns the effective repeat count.
@@ -80,6 +121,22 @@ type Schedule struct {
 	// final rotation of the Bruck algorithm. Priced as local memory
 	// bandwidth, never as network traffic.
 	PostCopyBlocks int
+	// Blocks is the size of the block space the schedule moves data over.
+	// Zero means P (the allgather convention of one block per rank);
+	// chunked broadcasts use an explicit block count independent of P.
+	Blocks int
+	// Init declares the initial block distribution (see InitKind).
+	Init InitKind
+	// Root is the distinguished rank for InitRoot schedules.
+	Root int
+}
+
+// NumBlocks returns the effective block-space size (Blocks, defaulting to P).
+func (s *Schedule) NumBlocks() int {
+	if s.Blocks > 0 {
+		return s.Blocks
+	}
+	return s.P
 }
 
 // Validate checks structural sanity: ranks in range, no self-transfers,
@@ -88,6 +145,13 @@ func (s *Schedule) Validate() error {
 	if s.P <= 0 {
 		return fmt.Errorf("sched: schedule %q has nonpositive P=%d", s.Name, s.P)
 	}
+	if s.Blocks < 0 {
+		return fmt.Errorf("sched: schedule %q has negative Blocks=%d", s.Name, s.Blocks)
+	}
+	if s.Root < 0 || s.Root >= s.P {
+		return fmt.Errorf("sched: schedule %q root %d outside 0..%d", s.Name, s.Root, s.P-1)
+	}
+	blocks := s.NumBlocks()
 	check := func(stages []Stage, what string) error {
 		for si := range stages {
 			st := &stages[si]
@@ -104,9 +168,9 @@ func (s *Schedule) Validate() error {
 				case tr.N <= 0:
 					return fmt.Errorf("sched: %q %s stage %d transfer %d->%d carries %d blocks",
 						s.Name, what, si, tr.Src, tr.Dst, tr.N)
-				case tr.Mode == Range && (tr.First < 0 || int(tr.First) >= s.P):
+				case tr.Mode != All && (tr.First < 0 || int(tr.First) >= blocks):
 					return fmt.Errorf("sched: %q %s stage %d transfer starts at block %d outside 0..%d",
-						s.Name, what, si, tr.First, s.P-1)
+						s.Name, what, si, tr.First, blocks-1)
 				}
 			}
 		}

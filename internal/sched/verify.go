@@ -5,10 +5,10 @@ import (
 	"math/bits"
 )
 
-// blockSet is a bitset over block identifiers 0..P-1.
+// blockSet is a bitset over block identifiers 0..Blocks-1.
 type blockSet []uint64
 
-func newBlockSet(p int) blockSet { return make(blockSet, (p+63)/64) }
+func newBlockSet(n int) blockSet { return make(blockSet, (n+63)/64) }
 
 func (b blockSet) add(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
 func (b blockSet) has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
@@ -27,22 +27,46 @@ func (b blockSet) union(o blockSet) {
 	}
 }
 
+// intersects reports whether b and o share any block.
+func (b blockSet) intersects(o blockSet) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (b blockSet) clone() blockSet {
 	c := make(blockSet, len(b))
 	copy(c, b)
 	return c
 }
 
-// replayState tracks per-rank block possession through a schedule.
-type replayState struct {
-	p    int
-	held []blockSet
+// appendBlocks appends the set's members to dst in ascending order.
+func (b blockSet) appendBlocks(dst []int32) []int32 {
+	for wi, w := range b {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, int32(wi*64+bit))
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
-func newReplay(p int, initial func(rank int) []int32) *replayState {
-	rs := &replayState{p: p, held: make([]blockSet, p)}
+// replayState tracks per-rank block possession through a schedule. The block
+// space has size blocks (Schedule.NumBlocks), independent of the rank count.
+type replayState struct {
+	p      int
+	blocks int
+	held   []blockSet
+}
+
+func newReplay(p, blocks int, initial func(rank int) []int32) *replayState {
+	rs := &replayState{p: p, blocks: blocks, held: make([]blockSet, p)}
 	for r := 0; r < p; r++ {
-		rs.held[r] = newBlockSet(p)
+		rs.held[r] = newBlockSet(blocks)
 		for _, b := range initial(r) {
 			rs.held[r].add(b)
 		}
@@ -50,46 +74,102 @@ func newReplay(p int, initial func(rank int) []int32) *replayState {
 	return rs
 }
 
+// initialHolding returns the initial per-rank block sets declared by the
+// schedule's InitKind, or an error for InitSizedOnly schedules, which have no
+// executable initial condition.
+func (s *Schedule) initialHolding() (func(rank int) []int32, error) {
+	blocks := s.NumBlocks()
+	all := make([]int32, blocks)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	switch s.Init {
+	case InitOwn:
+		return func(r int) []int32 { return []int32{int32(r)} }, nil
+	case InitRoot:
+		root := s.Root
+		return func(r int) []int32 {
+			if r == root {
+				return all
+			}
+			return nil
+		}, nil
+	case InitAll:
+		return func(r int) []int32 { return all }, nil
+	case InitSizedOnly:
+		return nil, fmt.Errorf("sched: %q is a pricing-only schedule with no initial block condition", s.Name)
+	}
+	return nil, fmt.Errorf("sched: %q has unknown init kind %d", s.Name, s.Init)
+}
+
+// rangeBlocks resolves a contiguous (mod blocks) range send, checking that
+// the sender holds every block in it.
+func (rs *replayState) rangeBlocks(src, first, n int32) (blockSet, error) {
+	moved := newBlockSet(rs.blocks)
+	for k := int32(0); k < n; k++ {
+		b := (first + k) % int32(rs.blocks)
+		if !rs.held[src].has(b) {
+			return nil, fmt.Errorf("sched: rank %d sends block %d it does not hold", src, b)
+		}
+		moved.add(b)
+	}
+	return moved, nil
+}
+
 // runStage executes one repeat of a stage: all transfers read the pre-repeat
 // state and deliveries land together afterwards, modelling the concurrency
 // of a stage. stageRecv carries the pipeline state of the Latest mode across
-// the repeats of one stage: on the first repeat a rank forwards what it held
-// when the stage began; afterwards it forwards what the previous repeat
-// delivered to it.
+// the repeats of one stage: on the first repeat a rank forwards the range
+// [First, First+N) it already holds; afterwards it forwards what the
+// previous repeat delivered to it.
+//
+// Two transfers of the same stage repeat may target one destination only
+// with disjoint block sets; overlapping same-stage deliveries are rejected
+// as a schedule bug (the executor could not order the stores).
 func (rs *replayState) runStage(st *Stage, stageRecv []blockSet) error {
 	type delivery struct {
-		dst    int32
-		blocks blockSet
+		src, dst int32
+		blocks   blockSet
 	}
 	deliveries := make([]delivery, 0, len(st.Transfers))
 	for _, tr := range st.Transfers {
 		var moved blockSet
+		var err error
 		switch tr.Mode {
 		case All:
 			moved = rs.held[tr.Src].clone()
 		case Range:
-			moved = newBlockSet(rs.p)
-			for k := int32(0); k < tr.N; k++ {
-				b := (tr.First + k) % int32(rs.p)
-				if !rs.held[tr.Src].has(b) {
-					return fmt.Errorf("sched: rank %d sends block %d it does not hold", tr.Src, b)
-				}
-				moved.add(b)
+			if moved, err = rs.rangeBlocks(tr.Src, tr.First, tr.N); err != nil {
+				return err
 			}
 		case Latest:
-			src := stageRecv[tr.Src]
-			if src == nil {
-				src = rs.held[tr.Src]
+			if prev := stageRecv[tr.Src]; prev != nil {
+				moved = prev.clone()
+			} else if moved, err = rs.rangeBlocks(tr.Src, tr.First, tr.N); err != nil {
+				return err
 			}
-			moved = src.clone()
 		default:
 			return fmt.Errorf("sched: unknown transfer mode %d", tr.Mode)
 		}
-		deliveries = append(deliveries, delivery{tr.Dst, moved})
+		for _, d := range deliveries {
+			if d.dst == tr.Dst && d.blocks.intersects(moved) {
+				return fmt.Errorf("sched: ranks %d and %d deliver overlapping blocks to rank %d in one stage",
+					d.src, tr.Src, tr.Dst)
+			}
+		}
+		deliveries = append(deliveries, delivery{tr.Src, tr.Dst, moved})
 	}
+	// Deliveries land together; a rank's "latest received" becomes the union
+	// of everything that arrived this repeat.
+	delivered := make(map[int32]bool, len(deliveries))
 	for _, d := range deliveries {
 		rs.held[d.dst].union(d.blocks)
-		stageRecv[d.dst] = d.blocks
+		if delivered[d.dst] {
+			stageRecv[d.dst].union(d.blocks)
+		} else {
+			stageRecv[d.dst] = d.blocks
+			delivered[d.dst] = true
+		}
 	}
 	return nil
 }
@@ -107,21 +187,32 @@ func (rs *replayState) run(stages []Stage) error {
 	return nil
 }
 
+// replayMain validates s, seeds a replay from initial and runs the main
+// stages (Pre stages are not replayed: they move input vectors between
+// processes before the collective's block space is defined).
+func (s *Schedule) replayMain(initial func(rank int) []int32) (*replayState, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rs := newReplay(s.P, s.NumBlocks(), initial)
+	if err := rs.run(s.Stages); err != nil {
+		return nil, fmt.Errorf("sched: %q: %w", s.Name, err)
+	}
+	return rs, nil
+}
+
 // VerifyAllgather replays the main stages of s from the allgather initial
 // condition (rank r holds block r) and checks that every rank ends holding
-// all P blocks. Pre stages are not replayed: they move input vectors between
-// processes before the collective's block space is defined.
+// all blocks.
 func (s *Schedule) VerifyAllgather() error {
-	if err := s.Validate(); err != nil {
+	rs, err := s.replayMain(func(r int) []int32 { return []int32{int32(r)} })
+	if err != nil {
 		return err
 	}
-	rs := newReplay(s.P, func(r int) []int32 { return []int32{int32(r)} })
-	if err := rs.run(s.Stages); err != nil {
-		return fmt.Errorf("sched: %q: %w", s.Name, err)
-	}
+	blocks := s.NumBlocks()
 	for r := 0; r < s.P; r++ {
-		if got := rs.held[r].count(); got != s.P {
-			return fmt.Errorf("sched: %q: rank %d ends with %d of %d blocks", s.Name, r, got, s.P)
+		if got := rs.held[r].count(); got != blocks {
+			return fmt.Errorf("sched: %q: rank %d ends with %d of %d blocks", s.Name, r, got, blocks)
 		}
 	}
 	return nil
@@ -129,37 +220,111 @@ func (s *Schedule) VerifyAllgather() error {
 
 // VerifyGather replays s and checks that the root ends holding all blocks.
 func (s *Schedule) VerifyGather(root int) error {
-	if err := s.Validate(); err != nil {
+	rs, err := s.replayMain(func(r int) []int32 { return []int32{int32(r)} })
+	if err != nil {
 		return err
 	}
-	rs := newReplay(s.P, func(r int) []int32 { return []int32{int32(r)} })
-	if err := rs.run(s.Stages); err != nil {
-		return fmt.Errorf("sched: %q: %w", s.Name, err)
-	}
-	if got := rs.held[root].count(); got != s.P {
-		return fmt.Errorf("sched: %q: root holds %d of %d blocks", s.Name, got, s.P)
+	blocks := s.NumBlocks()
+	if got := rs.held[root].count(); got != blocks {
+		return fmt.Errorf("sched: %q: root holds %d of %d blocks", s.Name, got, blocks)
 	}
 	return nil
 }
 
 // VerifyBroadcast replays s from the broadcast initial condition (only the
-// root holds block 0) and checks that every rank ends holding it.
+// root holds the message, i.e. all NumBlocks blocks) and checks that every
+// rank ends holding all of them.
 func (s *Schedule) VerifyBroadcast(root int) error {
-	if err := s.Validate(); err != nil {
-		return err
+	blocks := s.NumBlocks()
+	all := make([]int32, blocks)
+	for i := range all {
+		all[i] = int32(i)
 	}
-	rs := newReplay(s.P, func(r int) []int32 {
+	rs, err := s.replayMain(func(r int) []int32 {
 		if r == root {
-			return []int32{0}
+			return all
 		}
 		return nil
 	})
-	if err := rs.run(s.Stages); err != nil {
-		return fmt.Errorf("sched: %q: %w", s.Name, err)
+	if err != nil {
+		return err
 	}
 	for r := 0; r < s.P; r++ {
-		if !rs.held[r].has(0) {
-			return fmt.Errorf("sched: %q: rank %d never receives the broadcast", s.Name, r)
+		if got := rs.held[r].count(); got != blocks {
+			return fmt.Errorf("sched: %q: rank %d ends with %d of %d blocks", s.Name, r, got, blocks)
+		}
+	}
+	return nil
+}
+
+// VerifyAllreduce replays s as a reduction schedule: instead of possession,
+// the replay tracks which ranks' contributions each held block copy has
+// absorbed. A Reduce stage merges the sender's contribution set into the
+// receiver's — rejecting the merge if the sets overlap, since combining a
+// contribution twice corrupts the sum — while a non-Reduce stage overwrites
+// the receiver's copy. The schedule passes when every rank's every block has
+// absorbed all P contributions.
+func (s *Schedule) VerifyAllreduce() error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Init != InitAll {
+		return fmt.Errorf("sched: %q: allreduce schedules need the InitAll initial condition, got %v", s.Name, s.Init)
+	}
+	p, blocks := s.P, s.NumBlocks()
+	// contrib[r][b] is the set of ranks whose inputs rank r's copy of block
+	// b has absorbed. Every copy starts holding its own rank's input.
+	contrib := make([][]blockSet, p)
+	for r := 0; r < p; r++ {
+		contrib[r] = make([]blockSet, blocks)
+		for b := 0; b < blocks; b++ {
+			contrib[r][b] = newBlockSet(p)
+			contrib[r][b].add(int32(r))
+		}
+	}
+	for si := range s.Stages {
+		st := &s.Stages[si]
+		for rep := 0; rep < st.repeats(); rep++ {
+			type delivery struct {
+				dst, block int32
+				set        blockSet
+			}
+			var deliveries []delivery
+			for _, tr := range st.Transfers {
+				switch tr.Mode {
+				case Range:
+					for k := int32(0); k < tr.N; k++ {
+						b := (tr.First + k) % int32(blocks)
+						deliveries = append(deliveries, delivery{tr.Dst, b, contrib[tr.Src][b].clone()})
+					}
+				case All:
+					// Under InitAll every rank holds every block throughout.
+					for b := int32(0); b < int32(blocks); b++ {
+						deliveries = append(deliveries, delivery{tr.Dst, b, contrib[tr.Src][b].clone()})
+					}
+				default:
+					return fmt.Errorf("sched: %q: stage %d: allreduce replay supports Range and All transfers only", s.Name, si)
+				}
+			}
+			for _, d := range deliveries {
+				cur := contrib[d.dst][d.block]
+				if st.Reduce {
+					if cur.intersects(d.set) {
+						return fmt.Errorf("sched: %q: stage %d: rank %d would absorb a contribution twice for block %d",
+							s.Name, si, d.dst, d.block)
+					}
+					cur.union(d.set)
+				} else {
+					contrib[d.dst][d.block] = d.set
+				}
+			}
+		}
+	}
+	for r := 0; r < p; r++ {
+		for b := 0; b < blocks; b++ {
+			if got := contrib[r][b].count(); got != p {
+				return fmt.Errorf("sched: %q: rank %d block %d absorbs %d of %d contributions", s.Name, r, b, got, p)
+			}
 		}
 	}
 	return nil

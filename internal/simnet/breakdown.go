@@ -47,45 +47,39 @@ func (b *Breakdown) String() string {
 	return sb.String()
 }
 
-// Explain prices a schedule like Price but returns the per-stage detail.
+// Explain prices a schedule like Price but returns the per-stage detail. It
+// consumes the same compiled program as Price and the executor.
 func (m *Machine) Explain(s *sched.Schedule, layout []int, blockBytes int) (*Breakdown, error) {
-	if err := s.Validate(); err != nil {
+	prog, err := sched.CompileCached(s)
+	if err != nil {
 		return nil, err
 	}
-	if _, err := m.Price(s, layout, blockBytes); err != nil {
+	if _, err := m.PriceProgram(prog, layout, blockBytes); err != nil {
 		return nil, err
 	}
 	out := &Breakdown{}
-	idx := 0
-	for group, stages := range [][]sched.Stage{s.Pre, s.Stages} {
-		for i := range stages {
-			st := &stages[i]
-			t, err := m.priceStage(st, layout, blockBytes)
-			if err != nil {
-				return nil, err
-			}
-			reps := st.Repeat
-			if reps < 1 {
-				reps = 1
-			}
-			var bytes int64
-			for _, tr := range st.Transfers {
-				bytes += int64(tr.N) * int64(blockBytes)
-			}
-			out.Stages = append(out.Stages, StageCost{
-				Index:      idx,
-				Pre:        group == 0,
-				Repeat:     reps,
-				Seconds:    t,
-				Transfers:  len(st.Transfers),
-				BytesMoved: bytes,
-			})
-			out.Total += t * float64(reps)
-			idx++
+	for idx := range prog.Stages {
+		st := &prog.Stages[idx]
+		t, err := m.priceStage(st.Transfers, layout, blockBytes)
+		if err != nil {
+			return nil, err
 		}
+		var bytes int64
+		for _, tr := range st.Transfers {
+			bytes += int64(tr.N) * int64(blockBytes)
+		}
+		out.Stages = append(out.Stages, StageCost{
+			Index:      idx,
+			Pre:        st.Pre,
+			Repeat:     st.Repeat,
+			Seconds:    t,
+			Transfers:  len(st.Transfers),
+			BytesMoved: bytes,
+		})
+		out.Total += t * float64(st.Repeat)
 	}
-	if s.PostCopyBlocks > 0 {
-		out.PostCopySeconds = float64(s.PostCopyBlocks) * float64(blockBytes) / m.Params.MemCopy
+	if prog.PostCopyBlocks > 0 {
+		out.PostCopySeconds = float64(prog.PostCopyBlocks) * float64(blockBytes) / m.Params.MemCopy
 		out.Total += out.PostCopySeconds
 	}
 	return out, nil

@@ -32,7 +32,7 @@ func (m *Machine) PricePipelined(s *sched.Schedule, layout []int, blockBytes int
 				continue
 			}
 			// Per-transfer durations are repeat-invariant: compute once.
-			durations, err := m.transferDurations(st, layout, blockBytes)
+			durations, err := m.transferDurations(st.Transfers, layout, blockBytes)
 			if err != nil {
 				return 0, err
 			}
@@ -72,13 +72,13 @@ func (m *Machine) PricePipelined(s *sched.Schedule, layout []int, blockBytes int
 
 // transferDurations prices every transfer of one stage under the stage's
 // aggregated loads.
-func (m *Machine) transferDurations(st *sched.Stage, layout []int, blockBytes int) ([]float64, error) {
+func (m *Machine) transferDurations(transfers []sched.Transfer, layout []int, blockBytes int) ([]float64, error) {
 	loads := newStageLoads()
-	m.aggregateLoads(st, layout, loads)
-	durations := make([]float64, len(st.Transfers))
+	m.aggregateLoads(transfers, layout, loads)
+	durations := make([]float64, len(transfers))
 	var routeBuf []topology.DirLink
-	for i := range st.Transfers {
-		t, err := m.transferTime(&st.Transfers[i], layout, blockBytes, loads, &routeBuf)
+	for i := range transfers {
+		t, err := m.transferTime(&transfers[i], layout, blockBytes, loads, &routeBuf)
 		if err != nil {
 			return nil, err
 		}

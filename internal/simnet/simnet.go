@@ -146,13 +146,24 @@ func newStageLoads() *stageLoads {
 }
 
 // Price computes the modelled execution time of schedule s in seconds, with
-// rank r placed on core layout[r] and every block blockBytes bytes.
+// rank r placed on core layout[r] and every block blockBytes bytes. The
+// schedule is compiled through the process-wide schedule cache and the
+// compiled program is priced, so the cost model consumes exactly the
+// artifact the generic executor runs.
 func (m *Machine) Price(s *sched.Schedule, layout []int, blockBytes int) (float64, error) {
-	if err := s.Validate(); err != nil {
+	prog, err := sched.CompileCached(s)
+	if err != nil {
 		return 0, err
 	}
-	if len(layout) < s.P {
-		return 0, fmt.Errorf("simnet: layout covers %d ranks, schedule has %d", len(layout), s.P)
+	return m.PriceProgram(prog, layout, blockBytes)
+}
+
+// PriceProgram prices a compiled program: the sum over its pricing-view
+// stages (Pre stages first) of the worst transfer time per execution, times
+// the stage's repeat count, plus the local shuffle epilogue.
+func (m *Machine) PriceProgram(prog *sched.Program, layout []int, blockBytes int) (float64, error) {
+	if len(layout) < prog.P {
+		return 0, fmt.Errorf("simnet: layout covers %d ranks, schedule has %d", len(layout), prog.P)
 	}
 	if blockBytes <= 0 {
 		return 0, fmt.Errorf("simnet: block size must be positive, got %d", blockBytes)
@@ -161,32 +172,26 @@ func (m *Machine) Price(s *sched.Schedule, layout []int, blockBytes int) (float6
 		return 0, err
 	}
 	total := 0.0
-	for _, stages := range [][]sched.Stage{s.Pre, s.Stages} {
-		for i := range stages {
-			st := &stages[i]
-			t, err := m.priceStage(st, layout, blockBytes)
-			if err != nil {
-				return 0, err
-			}
-			reps := st.Repeat
-			if reps < 1 {
-				reps = 1
-			}
-			total += t * float64(reps)
+	for i := range prog.Stages {
+		st := &prog.Stages[i]
+		t, err := m.priceStage(st.Transfers, layout, blockBytes)
+		if err != nil {
+			return 0, err
 		}
+		total += t * float64(st.Repeat)
 	}
-	if s.PostCopyBlocks > 0 {
+	if prog.PostCopyBlocks > 0 {
 		// Every rank shuffles locally in parallel; one rank's copy time.
-		total += float64(s.PostCopyBlocks) * float64(blockBytes) / m.Params.MemCopy
+		total += float64(prog.PostCopyBlocks) * float64(blockBytes) / m.Params.MemCopy
 	}
 	return total, nil
 }
 
 // aggregateLoads fills loads with the per-resource message counts of one
 // stage execution under the given layout.
-func (m *Machine) aggregateLoads(st *sched.Stage, layout []int, loads *stageLoads) {
+func (m *Machine) aggregateLoads(transfers []sched.Transfer, layout []int, loads *stageLoads) {
 	var routeBuf []topology.DirLink
-	for _, tr := range st.Transfers {
+	for _, tr := range transfers {
 		src, dst := layout[tr.Src], layout[tr.Dst]
 		loads.send[src]++
 		loads.recv[dst]++
@@ -210,17 +215,18 @@ func (m *Machine) aggregateLoads(st *sched.Stage, layout []int, loads *stageLoad
 	}
 }
 
-// priceStage returns the completion time of one execution of a stage.
-func (m *Machine) priceStage(st *sched.Stage, layout []int, blockBytes int) (float64, error) {
-	if len(st.Transfers) == 0 {
+// priceStage returns the completion time of one execution of a stage's
+// transfer list.
+func (m *Machine) priceStage(transfers []sched.Transfer, layout []int, blockBytes int) (float64, error) {
+	if len(transfers) == 0 {
 		return 0, nil
 	}
 	loads := newStageLoads()
-	m.aggregateLoads(st, layout, loads)
+	m.aggregateLoads(transfers, layout, loads)
 	var routeBuf []topology.DirLink
 
 	worst := 0.0
-	for _, tr := range st.Transfers {
+	for _, tr := range transfers {
 		t, err := m.transferTime(&tr, layout, blockBytes, loads, &routeBuf)
 		if err != nil {
 			return 0, err

@@ -281,6 +281,7 @@ const (
 	AlgRecursiveDoubling = collective.AlgRecursiveDoubling
 	AlgRing              = collective.AlgRing
 	AlgBruck             = collective.AlgBruck
+	AlgNeighborExchange  = collective.AlgNeighborExchange
 )
 
 // Order-preservation modes (paper Section V-B).
