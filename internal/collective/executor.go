@@ -16,8 +16,10 @@ package collective
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sched"
 )
@@ -40,7 +42,14 @@ func scheduleProgram(alg Algorithm, p int) (*sched.Program, error) {
 		s, err = sched.Bruck(p)
 	case AlgNeighborExchange:
 		if p == 1 {
-			s, err = sched.Ring(1) // degenerate single-rank schedule
+			// Degenerate single-rank schedule: structurally Ring(1) (zero
+			// stages), but named for the algorithm the caller resolved so
+			// that schedule_* metrics and the allgather/neighbor-exchange
+			// trace span agree. The name participates in the schedule
+			// fingerprint, so the cache keeps it distinct from ring proper.
+			if s, err = sched.Ring(1); err == nil {
+				s.Name = "neighbor-exchange"
+			}
 		} else {
 			s, err = sched.NeighborExchange(p)
 		}
@@ -53,11 +62,74 @@ func scheduleProgram(alg Algorithm, p int) (*sched.Program, error) {
 	return sched.CompileCached(s)
 }
 
+// execMetrics bundles the resolved per-algorithm metric handles of the
+// schedule executor. Resolving a labeled series (CounterVec.With) takes a
+// lock and allocates; executeProgram runs per rank per collective, so the
+// handles are resolved once per program name and cached.
+type execMetrics struct {
+	executions   *metrics.Counter
+	transfers    *metrics.Counter
+	bytes        *metrics.Counter
+	stageSeconds *metrics.Histogram
+}
+
+var execMetricsCache sync.Map // program name -> *execMetrics
+
+// execMetricsFor returns the cached handle bundle for a program name.
+func execMetricsFor(name string) *execMetrics {
+	if em, ok := execMetricsCache.Load(name); ok {
+		return em.(*execMetrics)
+	}
+	em := &execMetrics{
+		executions:   scheduleExecutions.With("algorithm", name),
+		transfers:    scheduleTransfers.With("algorithm", name),
+		bytes:        scheduleBytes.With("algorithm", name),
+		stageSeconds: scheduleStageSeconds.With("algorithm", name),
+	}
+	actual, _ := execMetricsCache.LoadOrStore(name, em)
+	return actual.(*execMetrics)
+}
+
+// placeOffsets holds a pooled placement-resolved offset table: off[b] is the
+// buffer byte offset of block b under the call's Placement.
+var placeOffsetsPool = sync.Pool{New: func() any { return new([]int) }}
+
+// resolvePlaceOffsets builds the per-block byte offsets for a non-nil
+// placement from pooled storage; the caller returns it with freePlaceOffsets.
+func resolvePlaceOffsets(place Placement, blocks, blk int) []int {
+	op := placeOffsetsPool.Get().(*[]int)
+	off := *op
+	if cap(off) < blocks {
+		off = make([]int, blocks)
+	}
+	off = off[:blocks]
+	*op = nil
+	placeOffsetsPool.Put(op)
+	for b := 0; b < blocks; b++ {
+		off[b] = place(b) * blk
+	}
+	return off
+}
+
+func freePlaceOffsets(off []int) {
+	op := placeOffsetsPool.Get().(*[]int)
+	*op = off[:0]
+	placeOffsetsPool.Put(op)
+}
+
 // executeProgram runs the main stages of prog on c over buf, a
 // prog.Blocks-block buffer with blk bytes per block. place relocates block
 // identifiers to buffer positions (allgather programs whose block space is
 // the rank space; nil is the identity). op combines delivered blocks on
 // Reduce stages and must be non-nil when the program has any.
+//
+// The step loop is allocation-free in steady state: block byte offsets are
+// precomputed per (program, blk) — or per call into pooled storage when a
+// Placement is active — outgoing payloads are staged straight into pooled
+// buffers lent to the runtime via SendOwned (one copy instead of the old
+// stage-then-copy two), consumed receive payloads are recycled with
+// FreeBuf, metric handles are resolved once per program name, and trace
+// labels are only built when a tracer is installed.
 func executeProgram(c *mpi.Comm, prog *sched.Program, buf []byte, blk int, place Placement, op ReduceOp) error {
 	if prog.P != c.Size() {
 		return fmt.Errorf("collective: program %q is compiled for %d ranks, communicator has %d",
@@ -66,70 +138,115 @@ func executeProgram(c *mpi.Comm, prog *sched.Program, buf []byte, blk int, place
 	if err := prog.EnsureExecutable(); err != nil {
 		return err
 	}
-	scheduleExecutions.With("algorithm", prog.Name).Inc()
-	transfers := scheduleTransfers.With("algorithm", prog.Name)
-	bytesSent := scheduleBytes.With("algorithm", prog.Name)
-	stageSeconds := scheduleStageSeconds.With("algorithm", prog.Name)
+	em := execMetricsFor(prog.Name)
+	em.executions.Inc()
 
 	me := c.Rank()
 	steps := prog.RankSteps(me)
 	stages := prog.ExecStages()
 	ops := prog.Ops()
-	var out []byte
+	// offs[i] is the buffer byte offset of blockIdx entry i under the
+	// identity placement; placeOff[b] the offset of block b under place.
+	offs := prog.BlockOffsets(blk)
+	var placeOff []int
+	if place != nil {
+		placeOff = resolvePlaceOffsets(place, prog.Blocks, blk)
+		defer freePlaceOffsets(placeOff)
+	}
+	// Stage timing is sampled on rank 0 only: a stage's duration is a
+	// collective property, and every rank clocking it would both multiply
+	// the histogram's count by p and put two time syscalls plus an Observe
+	// on each rank's critical path. Send counters accumulate in locals and
+	// flush once per execution — per-message atomic adds on shared counters
+	// ping-pong cache lines across the communicator's ranks.
+	timed := me == 0
+	var sent, sentBytes uint64
 	cur := int32(-1)
 	var stageStart time.Time
-	for _, stp := range steps {
+	for i := range steps {
+		stp := &steps[i]
 		if stp.Stage != cur {
-			if cur >= 0 {
-				stageSeconds.Observe(time.Since(stageStart).Seconds())
+			if timed {
+				if cur >= 0 {
+					em.stageSeconds.Observe(time.Since(stageStart).Seconds())
+				}
+				stageStart = time.Now()
 			}
 			cur = stp.Stage
-			stageStart = time.Now()
 			if c.Tracing() {
 				c.TracePoint(fmt.Sprintf("sched %s stage %d", prog.Name, stp.Stage))
 			}
 		}
-		o := ops[stp.Op]
-		blocks := prog.OpBlocks(o)
+		o := &ops[stp.Op]
 		tag := tagSchedule + int(stp.Stage)
 		if stp.Send {
-			out = out[:0]
-			for _, b := range blocks {
-				pos := position(place, int(b))
-				out = append(out, buf[pos*blk:(pos+1)*blk]...)
+			n := o.NumBlk * blk
+			out := mpi.GetBuf(n)
+			w := 0
+			if place == nil {
+				for _, off := range offs[o.Blk0 : o.Blk0+o.NumBlk] {
+					copy(out[w:w+blk], buf[off:off+blk])
+					w += blk
+				}
+			} else {
+				for _, b := range prog.OpBlocks(*o) {
+					off := placeOff[b]
+					copy(out[w:w+blk], buf[off:off+blk])
+					w += blk
+				}
 			}
-			if err := c.Send(int(o.Dst), tag, out); err != nil {
+			if err := c.SendOwned(int(o.Dst), tag, out); err != nil {
 				return err
 			}
-			transfers.Inc()
-			bytesSent.Add(uint64(len(out)))
+			sent++
+			sentBytes += uint64(n)
 			continue
 		}
 		in, err := c.Recv(int(o.Src), tag)
 		if err != nil {
 			return err
 		}
-		if len(in) != len(blocks)*blk {
+		if len(in) != o.NumBlk*blk {
 			return fmt.Errorf("collective: schedule %q stage %d: received %d bytes, want %d",
-				prog.Name, stp.Stage, len(in), len(blocks)*blk)
+				prog.Name, stp.Stage, len(in), o.NumBlk*blk)
 		}
 		if stages[stp.Stage].Reduce {
 			if op == nil {
 				return fmt.Errorf("collective: schedule %q has reduce stages but no reduce operator", prog.Name)
 			}
-			for k, b := range blocks {
-				pos := position(place, int(b))
-				op(buf[pos*blk:(pos+1)*blk], in[k*blk:(k+1)*blk])
+			if place == nil {
+				for k, off := range offs[o.Blk0 : o.Blk0+o.NumBlk] {
+					op(buf[off:off+blk], in[k*blk:(k+1)*blk])
+				}
+			} else {
+				for k, b := range prog.OpBlocks(*o) {
+					off := placeOff[b]
+					op(buf[off:off+blk], in[k*blk:(k+1)*blk])
+				}
 			}
 		} else {
-			for k, b := range blocks {
-				pos := position(place, int(b))
-				copy(buf[pos*blk:(pos+1)*blk], in[k*blk:(k+1)*blk])
+			if place == nil {
+				for k, off := range offs[o.Blk0 : o.Blk0+o.NumBlk] {
+					copy(buf[off:off+blk], in[k*blk:(k+1)*blk])
+				}
+			} else {
+				for k, b := range prog.OpBlocks(*o) {
+					off := placeOff[b]
+					copy(buf[off:off+blk], in[k*blk:(k+1)*blk])
+				}
 			}
 		}
+		// The payload has been fully copied or reduced into buf; recycle
+		// it. This rank is the buffer's sole owner: the runtime handed it
+		// over at Recv and retains no alias.
+		mpi.FreeBuf(in)
 	}
-	if cur >= 0 {
-		stageSeconds.Observe(time.Since(stageStart).Seconds())
+	if timed && cur >= 0 {
+		em.stageSeconds.Observe(time.Since(stageStart).Seconds())
+	}
+	if sent > 0 {
+		em.transfers.Add(sent)
+		em.bytes.Add(sentBytes)
 	}
 	return nil
 }
@@ -218,6 +335,13 @@ func ExecuteGather(c *mpi.Comm, prog *sched.Program, root int, send, recv []byte
 	}
 	if prog.Init != sched.InitOwn || prog.Blocks != prog.P {
 		return fmt.Errorf("collective: program %q is not a gather program", prog.Name)
+	}
+	if root != prog.Root {
+		// A mismatched root would silently leave the caller's designated
+		// root with an unfilled recv while the program delivers everything
+		// to prog.Root; reject loudly instead.
+		return fmt.Errorf("collective: gather root %d does not match program %q root %d",
+			root, prog.Name, prog.Root)
 	}
 	buf := recv
 	if c.Rank() == root {

@@ -44,6 +44,63 @@ func BenchmarkScheduleExecutor(b *testing.B) {
 		})
 	}
 
+	// SteadyState isolates the executor step loop from world construction:
+	// a persistent world executes one allgather per iteration, so ns/op and
+	// allocs/op reflect executeProgram's steady state. The step loop is
+	// allocation-free (0 allocs/op): payload buffers cycle through the
+	// mpi buffer pool, offsets are memoized per (program, blk) and metric
+	// handles are cached per program name. SteadyStateLegacy runs the
+	// hand-written loops in the identical harness — the pair pins the
+	// executor's data-path overhead without mpi.Run construction noise.
+	for _, tc := range []struct {
+		alg Algorithm
+		p   int
+	}{{AlgRing, 4}, {AlgRing, 16}, {AlgRecursiveDoubling, 16}} {
+		prog, err := scheduleProgram(tc.alg, tc.p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := prog.EnsureExecutable(); err != nil {
+			b.Fatal(err)
+		}
+		const blk = 64
+		send := make([][]byte, tc.p)
+		recv := make([][]byte, tc.p)
+		for r := 0; r < tc.p; r++ {
+			send[r] = input(r, blk)
+			recv[r] = make([]byte, tc.p*blk)
+		}
+		steady := func(name string, body func(c *mpi.Comm) error) {
+			b.Run(fmt.Sprintf("%s/%v/p%d", name, tc.alg, tc.p), func(b *testing.B) {
+				w := startSteadyWorld(tc.p, body)
+				defer func() {
+					if err := w.close(); err != nil {
+						b.Fatal(err)
+					}
+				}()
+				for i := 0; i < 8; i++ {
+					if err := w.round(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := w.round(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		steady("SteadyState", func(c *mpi.Comm) error {
+			return ExecuteAllgather(c, prog, send[c.Rank()], recv[c.Rank()], nil)
+		})
+		alg := tc.alg
+		steady("SteadyStateLegacy", func(c *mpi.Comm) error {
+			return AllgatherLegacy(c, send[c.Rank()], recv[c.Rank()], alg)
+		})
+	}
+
 	execCases := []struct {
 		alg Algorithm
 		p   int

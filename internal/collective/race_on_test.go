@@ -1,0 +1,8 @@
+//go:build race
+
+package collective
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-count assertions are skipped because the detector's shadow
+// bookkeeping allocates on channel and pool operations.
+const raceEnabled = true

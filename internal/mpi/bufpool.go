@@ -1,0 +1,93 @@
+// Payload buffer recycling. Every message the runtime moves is backed by a
+// heap buffer; before this pool existed, Comm.Send allocated a fresh copy
+// per message, which made the schedule executor's steady state allocate on
+// every step. The pool gives the runtime an explicit buffer-ownership
+// contract instead:
+//
+//   - GetBuf lends a buffer out of the pool (allocating only when the pool
+//     is empty).
+//   - SendOwned transfers a buffer's ownership to the runtime: no copy is
+//     made, the receiver's Recv returns that exact buffer, and from the
+//     moment SendOwned is called the sender must not read or write it.
+//   - FreeBuf returns a fully consumed buffer to the pool. Only the current
+//     owner may free: for a received message that is the receiver, after it
+//     has copied or reduced the payload out. Freeing a buffer that anyone
+//     still aliases is a use-after-free waiting to happen — the executor
+//     only frees buffers it received through its own stage tags and never
+//     retains.
+//
+// Comm.Send keeps its copying contract (the caller may reuse data
+// immediately) but draws the copy's backing store from the same pool, so a
+// Send/Recv/FreeBuf round trip recycles buffers instead of growing garbage.
+// Buffers a receiver keeps (ordinary application Recv calls) simply never
+// return to the pool; that is safe, it only costs a future allocation.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// bufPool recycles payload buffers across sends of all worlds: every pooled
+// entry is a *[]byte holding a buffer with usable capacity. holderPool
+// recycles the (empty) *[]byte boxes themselves, so the Get/Free round trip
+// moves one holder between the two pools and never allocates in steady
+// state. A single variable-capacity pool (rather than size classes) is
+// enough here: a collective's steady state sends messages of a small set of
+// sizes, and a buffer that is too small for a request is simply replaced
+// once and the pool converges on the working-set maximum.
+var (
+	bufPool    sync.Pool // entries: *[]byte with non-zero capacity
+	holderPool = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// GetBuf returns a payload buffer of length n, drawn from the runtime's
+// recycling pool. The buffer's contents are unspecified; the caller must
+// overwrite all n bytes it intends to send. Pass the buffer to SendOwned
+// (transferring ownership to the runtime) or return it with FreeBuf.
+func GetBuf(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	var b []byte
+	if bp, ok := bufPool.Get().(*[]byte); ok {
+		b = *bp
+		*bp = nil
+		holderPool.Put(bp)
+	}
+	if cap(b) < n {
+		// Too small (or the pool was empty): allocate at the requested
+		// size; the undersized backing array is dropped.
+		b = make([]byte, n)
+	}
+	return b[:n]
+}
+
+// FreeBuf returns buf to the recycling pool. The caller must be buf's sole
+// owner and must not touch it afterwards. Freeing nil or empty buffers is a
+// no-op. It is always safe to *not* call FreeBuf — an unreturned buffer is
+// ordinary garbage — so callers outside allocation-sensitive hot paths can
+// ignore the pool entirely.
+func FreeBuf(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	bp := holderPool.Get().(*[]byte)
+	*bp = buf[:0]
+	bufPool.Put(bp)
+}
+
+// SendOwned delivers data to comm rank dst with the given tag, transferring
+// ownership of data's backing array to the runtime: no copy is made. The
+// caller must not read or write data after the call returns. The receiving
+// side's Recv returns this buffer; once the receiver has fully consumed the
+// payload it may recycle it with FreeBuf. Semantically SendOwned is
+// identical to Send — asynchronous, buffered, FIFO-matched per (src, tag) —
+// it only skips the defensive copy.
+func (c *Comm) SendOwned(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= len(c.members) {
+		return fmt.Errorf("mpi: send to rank %d outside communicator of size %d", dst, len(c.members))
+	}
+	c.sendPayload(dst, tag, data)
+	return nil
+}

@@ -1,0 +1,143 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestSendOwnedRoundTrip pins the lending contract: the receiver gets the
+// exact bytes handed to SendOwned and may recycle the buffer afterwards.
+func TestSendOwnedRoundTrip(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		const tag = 77
+		if c.Rank() == 0 {
+			buf := GetBuf(1024)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			return c.SendOwned(1, tag, buf)
+		}
+		in, err := c.Recv(0, tag)
+		if err != nil {
+			return err
+		}
+		for i, b := range in {
+			if b != byte(i) {
+				return fmt.Errorf("byte %d = %d, want %d", i, b, byte(i))
+			}
+		}
+		FreeBuf(in)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendOwnedRangeError mirrors Send's destination validation.
+func TestSendOwnedRangeError(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.SendOwned(3, 0, GetBuf(8)); err == nil {
+			return fmt.Errorf("out-of-range SendOwned accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetBufLengths pins the pool API edge cases.
+func TestGetBufLengths(t *testing.T) {
+	if b := GetBuf(0); len(b) != 0 {
+		t.Errorf("GetBuf(0) = %d bytes", len(b))
+	}
+	FreeBuf(nil) // must be a no-op
+	b := GetBuf(37)
+	if len(b) != 37 {
+		t.Errorf("GetBuf(37) = %d bytes", len(b))
+	}
+	FreeBuf(b)
+	// A recycled buffer must come back with the requested length even if
+	// the pooled capacity differs.
+	c := GetBuf(5)
+	if len(c) != 5 {
+		t.Errorf("GetBuf(5) after free = %d bytes", len(c))
+	}
+	FreeBuf(c)
+}
+
+// TestPooledSendBuffersConcurrent drives many worlds' worth of pooled sends,
+// owned sends and frees concurrently; under -race it proves that buffer
+// recycling never lets two owners touch one backing array at the same time.
+func TestPooledSendBuffersConcurrent(t *testing.T) {
+	const (
+		p      = 8
+		rounds = 40
+	)
+	err := Run(p, func(c *Comm) error {
+		me, size := c.Rank(), c.Size()
+		next, prev := (me+1)%size, (me-1+size)%size
+		payload := make([]byte, 512)
+		for i := range payload {
+			payload[i] = byte(me)
+		}
+		for r := 0; r < rounds; r++ {
+			// Alternate the copying and the lending path so both recycle
+			// through one pool while every rank sends and receives.
+			if r%2 == 0 {
+				if err := c.Send(next, r, payload); err != nil {
+					return err
+				}
+			} else {
+				buf := GetBuf(len(payload))
+				copy(buf, payload)
+				if err := c.SendOwned(next, r, buf); err != nil {
+					return err
+				}
+			}
+			in, err := c.Recv(prev, r)
+			if err != nil {
+				return err
+			}
+			want := bytes.Repeat([]byte{byte(prev)}, 512)
+			if !bytes.Equal(in, want) {
+				return fmt.Errorf("rank %d round %d: corrupted payload (got %d..., want %d...)", me, r, in[0], prev)
+			}
+			FreeBuf(in)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendStillCopies pins Send's copying contract after the pool refactor:
+// the caller may scribble over data immediately after Send returns.
+func TestSendStillCopies(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			data := []byte{1, 2, 3, 4}
+			if err := c.Send(1, 5, data); err != nil {
+				return err
+			}
+			for i := range data {
+				data[i] = 0xFF // must not affect the in-flight message
+			}
+			return nil
+		}
+		in, err := c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(in, []byte{1, 2, 3, 4}) {
+			return fmt.Errorf("send did not copy: got %v", in)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

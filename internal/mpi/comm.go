@@ -39,25 +39,35 @@ func (c *Comm) Members() []int {
 }
 
 // Send delivers data to comm rank dst with the given tag. Sends are
-// asynchronous and buffered (the runtime copies data), so pairwise exchange
-// patterns cannot deadlock.
+// asynchronous and buffered (the runtime copies data, so the caller may
+// reuse data immediately), hence pairwise exchange patterns cannot
+// deadlock. The copy's backing store is drawn from the runtime's buffer
+// pool (see bufpool.go); callers that want to skip the copy entirely hand
+// a pooled buffer to SendOwned instead.
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= len(c.members) {
 		return fmt.Errorf("mpi: send to rank %d outside communicator of size %d", dst, len(c.members))
 	}
-	buf := make([]byte, len(data))
+	buf := GetBuf(len(data))
 	copy(buf, data)
+	c.sendPayload(dst, tag, buf)
+	return nil
+}
+
+// sendPayload is the common tail of Send and SendOwned: it records the send
+// and delivers buf — whose ownership has already passed to the runtime — to
+// dst's inbox.
+func (c *Comm) sendPayload(dst, tag int, buf []byte) {
 	metricMessagesSent.Inc()
-	metricBytesSent.Add(uint64(len(data)))
+	metricBytesSent.Add(uint64(len(buf)))
 	if t := c.world.tracer; t != nil {
 		t.Record(trace.Event{
 			Kind: trace.KindSend, Rank: c.members[c.rank], Ctx: c.ctx,
-			Peer: dst, Tag: tag, Bytes: len(data),
+			Peer: dst, Tag: tag, Bytes: len(buf),
 		})
 	}
 	c.world.deliver(c.members[dst], c.members[c.rank],
 		message{ctx: c.ctx, src: c.rank, tag: tag, data: buf})
-	return nil
 }
 
 // Recv blocks until a message from comm rank src with the given tag arrives

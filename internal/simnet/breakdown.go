@@ -58,15 +58,17 @@ func (m *Machine) Explain(s *sched.Schedule, layout []int, blockBytes int) (*Bre
 		return nil, err
 	}
 	out := &Breakdown{}
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
 	for idx := range prog.Stages {
 		st := &prog.Stages[idx]
-		t, err := m.priceStage(st.Transfers, layout, blockBytes)
+		t, err := m.priceStage(sc, st.Transfers, layout, blockBytes)
 		if err != nil {
 			return nil, err
 		}
 		var bytes int64
-		for _, tr := range st.Transfers {
-			bytes += int64(tr.N) * int64(blockBytes)
+		for i := range st.Transfers {
+			bytes += int64(st.Transfers[i].N) * int64(blockBytes)
 		}
 		out.Stages = append(out.Stages, StageCost{
 			Index:      idx,

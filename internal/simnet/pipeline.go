@@ -71,14 +71,15 @@ func (m *Machine) PricePipelined(s *sched.Schedule, layout []int, blockBytes int
 }
 
 // transferDurations prices every transfer of one stage under the stage's
-// aggregated loads.
+// aggregated loads. The ablation is not on any hot path, so it stays on the
+// dense reference accounting.
 func (m *Machine) transferDurations(transfers []sched.Transfer, layout []int, blockBytes int) ([]float64, error) {
 	loads := newStageLoads()
 	m.aggregateLoads(transfers, layout, loads)
 	durations := make([]float64, len(transfers))
 	var routeBuf []topology.DirLink
 	for i := range transfers {
-		t, err := m.transferTime(&transfers[i], layout, blockBytes, loads, &routeBuf)
+		t, err := m.transferTimeDense(&transfers[i], layout, blockBytes, loads, &routeBuf)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package simnet
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race because the detector's shadow state
+// allocates on operations that are allocation-free in normal builds.
+const raceEnabled = false

@@ -28,6 +28,7 @@ package simnet
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sched"
 	"repro/internal/topology"
@@ -105,6 +106,10 @@ func (p *Params) Validate() error {
 type Machine struct {
 	Cluster *topology.Cluster
 	Params  Params
+
+	// scratch pools priceScratch instances (sparse.go) across pricing
+	// calls, so the route and link caches warm up once per machine.
+	scratch sync.Pool
 }
 
 // NewMachine builds a Machine, validating both halves.
@@ -119,30 +124,6 @@ func NewMachine(c *topology.Cluster, p Params) (*Machine, error) {
 		return nil, err
 	}
 	return &Machine{Cluster: c, Params: p}, nil
-}
-
-// qpiDir is one direction of one node's socket interconnect.
-type qpiDir struct {
-	node       int
-	fromSocket int // local socket index of the sending side
-}
-
-// stageLoads aggregates the shared-resource loads of one stage.
-type stageLoads struct {
-	send, recv map[int]int // per-core message counts
-	netLinks   map[topology.DirLink]int
-	qpi        map[qpiDir]int
-	socketMem  map[int]int // per global socket index
-}
-
-func newStageLoads() *stageLoads {
-	return &stageLoads{
-		send:      make(map[int]int),
-		recv:      make(map[int]int),
-		netLinks:  make(map[topology.DirLink]int),
-		qpi:       make(map[qpiDir]int),
-		socketMem: make(map[int]int),
-	}
 }
 
 // Price computes the modelled execution time of schedule s in seconds, with
@@ -160,7 +141,9 @@ func (m *Machine) Price(s *sched.Schedule, layout []int, blockBytes int) (float6
 
 // PriceProgram prices a compiled program: the sum over its pricing-view
 // stages (Pre stages first) of the worst transfer time per execution, times
-// the stage's repeat count, plus the local shuffle epilogue.
+// the stage's repeat count, plus the local shuffle epilogue. One pooled
+// pricing scratch (sparse.go) serves all stages, so steady-state pricing of
+// warm machines does not allocate beyond layout validation.
 func (m *Machine) PriceProgram(prog *sched.Program, layout []int, blockBytes int) (float64, error) {
 	if len(layout) < prog.P {
 		return 0, fmt.Errorf("simnet: layout covers %d ranks, schedule has %d", len(layout), prog.P)
@@ -168,13 +151,15 @@ func (m *Machine) PriceProgram(prog *sched.Program, layout []int, blockBytes int
 	if blockBytes <= 0 {
 		return 0, fmt.Errorf("simnet: block size must be positive, got %d", blockBytes)
 	}
-	if err := topology.ValidateLayout(m.Cluster, layout); err != nil {
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	if err := sc.validateLayout(m.Cluster, layout); err != nil {
 		return 0, err
 	}
 	total := 0.0
 	for i := range prog.Stages {
 		st := &prog.Stages[i]
-		t, err := m.priceStage(st.Transfers, layout, blockBytes)
+		t, err := m.priceStage(sc, st.Transfers, layout, blockBytes)
 		if err != nil {
 			return 0, err
 		}
@@ -185,111 +170,6 @@ func (m *Machine) PriceProgram(prog *sched.Program, layout []int, blockBytes int
 		total += float64(prog.PostCopyBlocks) * float64(blockBytes) / m.Params.MemCopy
 	}
 	return total, nil
-}
-
-// aggregateLoads fills loads with the per-resource message counts of one
-// stage execution under the given layout.
-func (m *Machine) aggregateLoads(transfers []sched.Transfer, layout []int, loads *stageLoads) {
-	var routeBuf []topology.DirLink
-	for _, tr := range transfers {
-		src, dst := layout[tr.Src], layout[tr.Dst]
-		loads.send[src]++
-		loads.recv[dst]++
-		srcNode, dstNode := m.Cluster.NodeOf(src), m.Cluster.NodeOf(dst)
-		switch {
-		case srcNode != dstNode:
-			if m.Cluster.Net == nil {
-				continue // uniform inter-node channel, no link accounting
-			}
-			routeBuf = m.Cluster.Net.RouteDir(routeBuf[:0], srcNode, dstNode)
-			for _, dl := range routeBuf {
-				loads.netLinks[dl]++
-			}
-		case !m.Cluster.SameSocket(src, dst):
-			loads.qpi[qpiDir{srcNode, m.localSocket(src)}]++
-			loads.socketMem[m.Cluster.SocketOf(src)]++
-			loads.socketMem[m.Cluster.SocketOf(dst)]++
-		default:
-			loads.socketMem[m.Cluster.SocketOf(src)]++
-		}
-	}
-}
-
-// priceStage returns the completion time of one execution of a stage's
-// transfer list.
-func (m *Machine) priceStage(transfers []sched.Transfer, layout []int, blockBytes int) (float64, error) {
-	if len(transfers) == 0 {
-		return 0, nil
-	}
-	loads := newStageLoads()
-	m.aggregateLoads(transfers, layout, loads)
-	var routeBuf []topology.DirLink
-
-	worst := 0.0
-	for _, tr := range transfers {
-		t, err := m.transferTime(&tr, layout, blockBytes, loads, &routeBuf)
-		if err != nil {
-			return 0, err
-		}
-		if t > worst {
-			worst = t
-		}
-	}
-	return worst, nil
-}
-
-// transferTime prices one transfer under the stage's aggregated loads.
-func (m *Machine) transferTime(tr *sched.Transfer, layout []int, blockBytes int, loads *stageLoads, routeBuf *[]topology.DirLink) (float64, error) {
-	p := &m.Params
-	src, dst := layout[tr.Src], layout[tr.Dst]
-	bytes := float64(tr.N) * float64(blockBytes)
-	endpoint := loads.send[src]
-	if r := loads.recv[dst]; r > endpoint {
-		endpoint = r
-	}
-
-	srcNode, dstNode := m.Cluster.NodeOf(src), m.Cluster.NodeOf(dst)
-	var alpha, streamBeta float64
-	// invRate accumulates the largest effective seconds-per-byte across the
-	// per-stream bandwidth (scaled by endpoint serialisation) and every
-	// shared resource on the path.
-	maxInv := 0.0
-	bump := func(inv float64) {
-		if inv > maxInv {
-			maxInv = inv
-		}
-	}
-	switch {
-	case srcNode != dstNode:
-		hops := 2
-		if m.Cluster.Net != nil {
-			hops = m.Cluster.Net.Hops(srcNode, dstNode)
-		}
-		alpha = p.AlphaNet + p.AlphaPerHop*float64(hops)
-		streamBeta = 1 / p.StreamNet
-		if m.Cluster.Net != nil {
-			*routeBuf = m.Cluster.Net.RouteDir((*routeBuf)[:0], srcNode, dstNode)
-			for _, dl := range *routeBuf {
-				load := loads.netLinks[dl]
-				cap_ := p.CapNetPerCable * float64(m.Cluster.Net.Multiplicity(dl.Link))
-				bump(float64(load) / cap_)
-			}
-		}
-	case !m.Cluster.SameSocket(src, dst):
-		alpha = p.AlphaQPI
-		streamBeta = 1 / p.StreamQPI
-		bump(float64(loads.qpi[qpiDir{srcNode, m.localSocket(src)}]) / p.CapQPIDir)
-		bump(float64(loads.socketMem[m.Cluster.SocketOf(src)]) / p.CapSocketMem)
-		bump(float64(loads.socketMem[m.Cluster.SocketOf(dst)]) / p.CapSocketMem)
-	case src == dst:
-		return 0, fmt.Errorf("simnet: transfer between rank %d and %d lands on one core", tr.Src, tr.Dst)
-	default:
-		alpha = p.AlphaShm
-		streamBeta = 1 / p.StreamShm
-		bump(float64(loads.socketMem[m.Cluster.SocketOf(src)]) / p.CapSocketMem)
-	}
-	bump(streamBeta * float64(endpoint))
-	return alpha + bytes*maxInv, nil
 }
 
 // localSocket returns the within-node socket index of a core.
