@@ -1,0 +1,174 @@
+// Command synth runs the offline schedule search: given a topology, a
+// collective family, rank counts and payload sizes, it explores the schedule
+// space (internal/synth), prints the pareto front with per-stage
+// simnet.Explain breakdowns, and writes the winners as a JSON table that
+// collective.Configure serves to the front-door selection at run time.
+//
+// Usage:
+//
+//	synth -topo fattree -family allgather -p 64 -bytes 1024,2048,65536 -out table.json
+//	synth -topo gpc -family allreduce -p 64,256 -bytes 32768 -load table.json -out table.json
+//	synth -topo torus -family allgather -p 256 -bytes 2048 -explain
+//
+// With -load the new winners are merged into an existing table (same
+// topology only), so tables can be grown family by family across runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/simnet"
+	"repro/internal/synth"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		os.Exit(1)
+	}
+}
+
+// machineFor builds the named machine model. The shapes match the test and
+// benchmark topologies so tables built here serve those runs directly.
+func machineFor(name string) (*simnet.Machine, error) {
+	var c *topology.Cluster
+	var err error
+	switch name {
+	case "gpc":
+		c = topology.GPC()
+	case "fattree":
+		// 8 nodes x 2 sockets x 4 cores under a two-level fat tree: the
+		// 64-rank acceptance topology of the test suite.
+		c, err = topology.NewCluster(8, 2, 4, topology.TwoLevelFatTree(2, 4, 2))
+	case "torus":
+		c, err = topology.NewCluster(32, 2, 4, topology.NewTorus3D(4, 4, 2))
+	case "single":
+		c = topology.SingleNode(2, 8)
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want gpc, fattree, torus or single)", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return simnet.NewMachine(c, simnet.DefaultParams())
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-%s: %q is not a positive integer", flagName, part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flagName)
+	}
+	return out, nil
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	topo := fs.String("topo", "gpc", "topology model: gpc, fattree, torus, single")
+	familyFlag := fs.String("family", "allgather", "collective family: allgather, allreduce, bcast, gather, scatter")
+	pFlag := fs.String("p", "64", "comma-separated rank counts")
+	bytesFlag := fs.String("bytes", "2048", "comma-separated payload sizes in bytes")
+	beam := fs.Int("beam", 0, "beam width (0 = default)")
+	rounds := fs.Int("rounds", 0, "mutation rounds (0 = default)")
+	out := fs.String("out", "", "write the winners table to this JSON file")
+	load := fs.String("load", "", "merge winners into the table loaded from this JSON file")
+	explain := fs.Bool("explain", false, "print a per-stage simnet.Explain breakdown for each pareto member")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := machineFor(*topo)
+	if err != nil {
+		return err
+	}
+	family, err := synth.ParseFamily(*familyFlag)
+	if err != nil {
+		return err
+	}
+	ps, err := parseInts("p", *pFlag)
+	if err != nil {
+		return err
+	}
+	payloads, err := parseInts("bytes", *bytesFlag)
+	if err != nil {
+		return err
+	}
+	opt := synth.Options{BeamWidth: *beam, Rounds: *rounds}
+
+	tab, results, err := synth.BuildTable(m, []synth.Family{family}, ps, payloads, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "topology %s (%s)\n", tab.Topology, m.Cluster)
+	for _, res := range results {
+		fmt.Fprintf(w, "\n%s p=%d payload=%dB: explored %d, pruned %d verify / %d bound / %d shape, %.0fms\n",
+			res.Family, res.P, res.PayloadBytes,
+			res.Explored, res.PrunedVerify, res.PrunedBound, res.PrunedShape,
+			res.Elapsed.Seconds()*1e3)
+		fmt.Fprintf(w, "  baseline %-40s %10.3fus\n", res.Baseline.Recipe, res.Baseline.Price*1e6)
+		if res.Best != nil && res.Best.Price < res.Baseline.Price {
+			fmt.Fprintf(w, "  winner   %-40s %10.3fus (%.0f%% better)\n",
+				res.Best.Recipe, res.Best.Price*1e6, 100*res.Improvement())
+		} else {
+			fmt.Fprintf(w, "  no schedule beat the baseline\n")
+		}
+		fmt.Fprintf(w, "  pareto front (latency-price ascending):\n")
+		for _, c := range res.Pareto {
+			fmt.Fprintf(w, "    %-42s lat %8.3fus  target %10.3fus\n",
+				c.Recipe, c.LatPrice*1e6, c.Price*1e6)
+			if *explain {
+				layout := make([]int, res.P)
+				for r := range layout {
+					layout[r] = r
+				}
+				blockBytes, err := family.BlockBytes(c.Schedule, res.PayloadBytes)
+				if err != nil {
+					return err
+				}
+				bd, err := m.Explain(c.Schedule, layout, blockBytes)
+				if err != nil {
+					return err
+				}
+				for _, line := range strings.Split(strings.TrimRight(bd.String(), "\n"), "\n") {
+					fmt.Fprintf(w, "      %s\n", line)
+				}
+			}
+		}
+	}
+
+	if *load != "" {
+		prev, err := synth.LoadFile(*load)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *load, err)
+		}
+		if err := prev.Merge(tab); err != nil {
+			return err
+		}
+		tab = prev
+	}
+	if *out != "" {
+		if err := tab.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %d entries to %s\n", len(tab.Entries), *out)
+	}
+	return nil
+}

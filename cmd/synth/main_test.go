@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestRunWritesAndMergesTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.json")
+
+	var out bytes.Buffer
+	err := run([]string{"-topo", "fattree", "-family", "allgather", "-p", "16,64", "-bytes", "2048", "-out", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"baseline", "winner", "pareto front", "wrote"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+	tab, err := synth.LoadFile(path)
+	if err != nil {
+		t.Fatalf("load written table: %v", err)
+	}
+	if len(tab.Entries) == 0 {
+		t.Fatal("written table is empty")
+	}
+	before := len(tab.Entries)
+
+	// Merge a second family into the same table via -load.
+	out.Reset()
+	err = run([]string{"-topo", "fattree", "-family", "bcast", "-p", "64", "-bytes", "65536",
+		"-load", path, "-out", path}, &out)
+	if err != nil {
+		t.Fatalf("merge run: %v\n%s", err, out.String())
+	}
+	tab, err = synth.LoadFile(path)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if len(tab.Entries) < before {
+		t.Fatalf("merge dropped entries: %d -> %d", before, len(tab.Entries))
+	}
+	for _, e := range tab.Entries {
+		if e.Family == synth.Allgather.String() && e.P == 64 {
+			return
+		}
+	}
+	t.Fatal("merged table lost the allgather p=64 entry")
+}
+
+func TestRunExplainPrintsBreakdown(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-topo", "single", "-family", "allgather", "-p", "8", "-bytes", "1024", "-explain"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "stage") {
+		t.Errorf("explain output has no per-stage breakdown:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-topo", "nope"},
+		{"-family", "nope"},
+		{"-p", "0"},
+		{"-bytes", "x"},
+		{"-load", "/does/not/exist.json"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) accepted bad input", args)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/sched"
+	"repro/internal/synth"
 )
 
 // ReduceOp combines src into dst element-wise; both slices have equal
@@ -101,11 +102,16 @@ func HierarchicalAllreduce(c *mpi.Comm, buf []byte, op ReduceOp, nodeID func(wor
 const RabenseifnerThresholdBytes = 32768
 
 // selectAllreduceSchedule picks the compiled reduction program for p ranks
-// and an n-byte buffer: the Rabenseifner reduce-scatter + allgather for
-// large buffers on power-of-two communicators whose buffer divides into p
-// blocks, and the binomial reduce + broadcast tree otherwise.
-func selectAllreduceSchedule(p, n int) (*sched.Schedule, string, error) {
-	if p > 1 && p&(p-1) == 0 && n%p == 0 && n >= RabenseifnerThresholdBytes {
+// and an n-byte buffer under the tuning's threshold: the Rabenseifner
+// reduce-scatter + allgather for large buffers on power-of-two communicators
+// whose buffer divides into p blocks, and the binomial reduce + broadcast
+// tree otherwise.
+func (t Tuning) selectAllreduceSchedule(p, n int) (*sched.Schedule, string, error) {
+	threshold := t.RabenseifnerThreshold
+	if threshold <= 0 {
+		threshold = RabenseifnerThresholdBytes
+	}
+	if p > 1 && p&(p-1) == 0 && n%p == 0 && n >= threshold {
 		s, err := sched.ReduceScatterAllgather(p)
 		return s, "rabenseifner", err
 	}
@@ -113,10 +119,12 @@ func selectAllreduceSchedule(p, n int) (*sched.Schedule, string, error) {
 	return s, "allreduce", err
 }
 
-// Allreduce combines buf in place across all ranks: the buffer shape selects
-// between the Rabenseifner reduce-scatter + allgather schedule and the
-// binomial reduce + broadcast tree, and the compiled schedule runs on the
-// generic executor. op must be associative and commutative.
+// Allreduce combines buf in place across all ranks. The world's synthesized
+// schedule table (Config.Synth) is consulted first; on a miss the buffer
+// shape and the world's Tuning threshold select between the Rabenseifner
+// reduce-scatter + allgather schedule and the binomial reduce + broadcast
+// tree. The compiled schedule runs on the generic executor. op must be
+// associative and commutative.
 func Allreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
 	if len(buf) == 0 {
 		return fmt.Errorf("collective: empty allreduce buffer")
@@ -124,7 +132,15 @@ func Allreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
 	if op == nil {
 		return fmt.Errorf("collective: nil reduce op")
 	}
-	s, label, err := selectAllreduceSchedule(c.Size(), len(buf))
+	cfg := configOf(c)
+	if prog, ok := cfg.Synth.Program(synth.Allreduce, c.Size(), len(buf)); ok {
+		defer beginCollective(prog.Name)()
+		name := "allreduce/" + prog.Name
+		c.TraceEnter(name)
+		defer c.TraceExit(name)
+		return ExecuteAllreduce(c, prog, buf, op)
+	}
+	s, label, err := cfg.Tuning.selectAllreduceSchedule(c.Size(), len(buf))
 	if err != nil {
 		return err
 	}

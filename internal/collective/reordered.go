@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/sched"
+	"repro/internal/synth"
 )
 
 // Algorithm names a flat allgather algorithm.
@@ -51,7 +52,9 @@ func (a Algorithm) String() string {
 const RingThresholdBytes = 1024
 
 // Tuning holds the algorithm-selection thresholds MPI libraries expose as
-// tunables. The zero value selects the defaults.
+// tunables. The zero value selects the defaults. Tuning is injectable
+// per-world: install one with Configure and every collective on that world
+// selects under it, leaving other worlds in the process on their own knobs.
 type Tuning struct {
 	// RingThreshold is the per-process byte size above which the ring
 	// algorithm is used (default RingThresholdBytes).
@@ -59,11 +62,20 @@ type Tuning struct {
 	// PreferBruck selects Bruck over recursive doubling even for
 	// power-of-two communicators below the ring threshold.
 	PreferBruck bool
+	// RabenseifnerThreshold is the buffer size at and above which Allreduce
+	// prefers the reduce-scatter + allgather schedule when the communicator
+	// shape admits it (default RabenseifnerThresholdBytes).
+	RabenseifnerThreshold int
 }
 
 // DefaultTuning returns the MVAPICH-style defaults the paper's evaluation
 // assumes.
-func DefaultTuning() Tuning { return Tuning{RingThreshold: RingThresholdBytes} }
+func DefaultTuning() Tuning {
+	return Tuning{
+		RingThreshold:         RingThresholdBytes,
+		RabenseifnerThreshold: RabenseifnerThresholdBytes,
+	}
+}
 
 // Select resolves alg for p ranks and blkBytes-per-process messages under t:
 // ring above the threshold; below it, recursive doubling on power-of-two
@@ -91,7 +103,10 @@ func Select(a Algorithm, p, blkBytes int) Algorithm {
 }
 
 // Allgather runs the selected flat allgather on c with the standard output
-// contract (block r at offset r). The selected algorithm is compiled to a
+// contract (block r at offset r). Under AlgAuto the world's synthesized
+// schedule table (Config.Synth) is consulted first; on a miss — or when the
+// caller forces an algorithm — the world's Tuning thresholds select among
+// the hand-coded builders. The chosen schedule is compiled to a
 // sched.Program (cached per shape) and run by the generic schedule executor;
 // AllgatherLegacy keeps the hand-written loops for comparison.
 func Allgather(c *mpi.Comm, send, recv []byte, alg Algorithm) error {
@@ -99,7 +114,17 @@ func Allgather(c *mpi.Comm, send, recv []byte, alg Algorithm) error {
 	if err != nil {
 		return err
 	}
-	resolved := Select(alg, c.Size(), blk)
+	cfg := configOf(c)
+	if alg == AlgAuto {
+		if prog, ok := cfg.Synth.Program(synth.Allgather, c.Size(), blk); ok {
+			defer beginCollective(prog.Name)()
+			name := "allgather/" + prog.Name
+			c.TraceEnter(name)
+			defer c.TraceExit(name)
+			return ExecuteAllgather(c, prog, send, recv, nil)
+		}
+	}
+	resolved := cfg.Tuning.Select(alg, c.Size(), blk)
 	prog, err := scheduleProgram(resolved, c.Size())
 	if err != nil {
 		return err
@@ -175,7 +200,7 @@ func (r *Reordered) Allgather(send, recv []byte, alg Algorithm) error {
 		return err
 	}
 	defer beginCollective("reordered")()
-	resolved := Select(alg, r.re.Size(), blk)
+	resolved := configOf(r.re).Tuning.Select(alg, r.re.Size(), blk)
 	if resolved == AlgRing || resolved == AlgNeighborExchange {
 		// In-algorithm fix: contributor with new rank j is original rank
 		// mapping[j]; the executor places its block there, so no extra

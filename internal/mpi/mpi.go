@@ -83,6 +83,9 @@ type World struct {
 	commMu sync.Mutex
 	comms  map[uint64]commDesc
 
+	valuesMu sync.Mutex
+	values   map[string]any // world-scoped settings, see values.go
+
 	deadMu sync.Mutex
 	dead   bool
 	report string // blocked-rank report built when the watchdog fires

@@ -1,0 +1,36 @@
+package mpi
+
+// World-scoped configuration values. Packages layered above mpi (collective,
+// synth) need per-world settings — selection thresholds, loaded tuning
+// tables — that today would be package globals, shared by every concurrently
+// running world. The value store gives each World one small keyed map that
+// every communicator of the world reads, so two worlds in one process can
+// run with different tunings.
+//
+// Values are world-global, not per-communicator: unlike Info (process-local,
+// cloned on Dup/Split/Reorder, mirroring MPI_Info), a value set through any
+// communicator is immediately visible to all ranks and all derived
+// communicators of the same world. Stored values must therefore be safe for
+// concurrent use; immutable snapshots are the intended shape.
+
+// SetWorldValue stores v under key in the communicator's world, replacing
+// any previous value. Typically called once by rank 0 before the worker body
+// starts communicating, or by the harness between collectives.
+func (c *Comm) SetWorldValue(key string, v any) {
+	w := c.world
+	w.valuesMu.Lock()
+	if w.values == nil {
+		w.values = make(map[string]any)
+	}
+	w.values[key] = v
+	w.valuesMu.Unlock()
+}
+
+// WorldValue returns the value stored under key in the communicator's world.
+func (c *Comm) WorldValue(key string) (any, bool) {
+	w := c.world
+	w.valuesMu.Lock()
+	v, ok := w.values[key]
+	w.valuesMu.Unlock()
+	return v, ok
+}

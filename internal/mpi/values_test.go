@@ -1,0 +1,73 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWorldValues: a value set through any communicator is visible to every
+// rank and every derived communicator of the same world, and distinct worlds
+// do not share values.
+func TestWorldValues(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SetWorldValue("threshold", 4096)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		v, ok := c.WorldValue("threshold")
+		if !ok || v.(int) != 4096 {
+			t.Errorf("rank %d: WorldValue = %v, %v", c.Rank(), v, ok)
+		}
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if v, ok := dup.WorldValue("threshold"); !ok || v.(int) != 4096 {
+			t.Errorf("rank %d: dup lost world value: %v, %v", c.Rank(), v, ok)
+		}
+		if _, ok := c.WorldValue("absent"); ok {
+			t.Errorf("rank %d: absent key reported present", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second world starts clean.
+	err = Run(2, func(c *Comm) error {
+		if _, ok := c.WorldValue("threshold"); ok {
+			t.Error("fresh world inherited a value from another world")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorldValuesConcurrent: concurrent writers and readers on one world do
+// not race (run under -race in CI).
+func TestWorldValuesConcurrent(t *testing.T) {
+	err := Run(8, func(c *Comm) error {
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.SetWorldValue("k", i)
+				c.WorldValue("k")
+			}(i)
+		}
+		wg.Wait()
+		if _, ok := c.WorldValue("k"); !ok {
+			t.Errorf("rank %d: value lost after concurrent writes", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -205,15 +205,36 @@ func NeighborExchange(p int) (*Schedule, error) {
 		return nil, fmt.Errorf("sched: neighbor exchange needs a positive even rank count, got %d", p)
 	}
 	s := &Schedule{Name: "neighbor-exchange", P: p}
+	// Send ranges are advanced incrementally — at step s each rank forwards
+	// what its previous partner sent at s-1 — so the build is O(p) per stage
+	// instead of O(p·step) through NeighborSendRange's recursion (which made
+	// the builder cubic in p).
+	first := make([]int32, p)
+	n := make([]int32, p)
+	next := make([]int32, p)
 	for step := 1; step <= p/2; step++ {
+		switch step {
+		case 1:
+			for i := 0; i < p; i++ {
+				first[i], n[i] = int32(i), 1
+			}
+		case 2:
+			for i := 0; i < p; i++ {
+				first[i], n[i] = int32(i&^1), 2
+			}
+		default:
+			for i := 0; i < p; i++ {
+				next[i] = first[NeighborPartner(i, step-1, p)]
+			}
+			first, next = next, first
+		}
 		st := Stage{Transfers: make([]Transfer, 0, p)}
 		for i := 0; i < p; i++ {
-			first, n := NeighborSendRange(i, step, p)
 			st.Transfers = append(st.Transfers, Transfer{
 				Src:   int32(i),
 				Dst:   int32(NeighborPartner(i, step, p)),
-				First: int32(first),
-				N:     int32(n),
+				First: first[i],
+				N:     n[i],
 				Mode:  Range,
 			})
 		}

@@ -160,7 +160,7 @@ func TestVerifyRejectsOverlappingStageDeliveries(t *testing.T) {
 	if err == nil {
 		t.Fatal("overlapping same-stage deliveries accepted")
 	}
-	if !strings.Contains(err.Error(), "overlapping") {
+	if !strings.Contains(err.Error(), "both deliver block 1 to rank 2") {
 		t.Errorf("unexpected error: %v", err)
 	}
 }

@@ -59,7 +59,8 @@ func (s *Schedule) VerifyScatter(root int) error {
 	}
 	for r := 0; r < s.P; r++ {
 		if !rs.held[r].has(int32(r)) {
-			return fmt.Errorf("sched: %q: rank %d never receives its block", s.Name, r)
+			return fmt.Errorf("sched: %q: rank %d never receives its block %d (ends holding %d of %d blocks)",
+				s.Name, r, r, rs.held[r].count(), s.NumBlocks())
 		}
 	}
 	return nil

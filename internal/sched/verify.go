@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 )
 
 // blockSet is a bitset over block identifiers 0..Blocks-1.
@@ -53,6 +54,44 @@ func (b blockSet) appendBlocks(dst []int32) []int32 {
 		}
 	}
 	return dst
+}
+
+// firstCommon returns the smallest block present in both sets, or -1. Used
+// to name the offending block in overlap and double-absorb errors.
+func (b blockSet) firstCommon(o blockSet) int32 {
+	for i := range b {
+		if w := b[i] & o[i]; w != 0 {
+			return int32(i*64 + bits.TrailingZeros64(w))
+		}
+	}
+	return -1
+}
+
+// missingFrom lists the blocks of 0..blocks-1 absent from b, rendered
+// compactly for error messages (at most 8 named, with a remainder count).
+func (b blockSet) missingFrom(blocks int) string {
+	var miss []int32
+	for i := int32(0); i < int32(blocks); i++ {
+		if !b.has(i) {
+			miss = append(miss, i)
+		}
+	}
+	if len(miss) == 0 {
+		return "none"
+	}
+	const show = 8
+	var sb strings.Builder
+	for i, m := range miss {
+		if i == show {
+			fmt.Fprintf(&sb, " and %d more", len(miss)-show)
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", m)
+	}
+	return sb.String()
 }
 
 // replayState tracks per-rank block possession through a schedule. The block
@@ -109,7 +148,8 @@ func (rs *replayState) rangeBlocks(src, first, n int32) (blockSet, error) {
 	for k := int32(0); k < n; k++ {
 		b := (first + k) % int32(rs.blocks)
 		if !rs.held[src].has(b) {
-			return nil, fmt.Errorf("sched: rank %d sends block %d it does not hold", src, b)
+			return nil, fmt.Errorf("rank %d sends block %d of range [%d,+%d) before holding it (holds %d of %d blocks)",
+				src, b, first, n, rs.held[src].count(), rs.blocks)
 		}
 		moved.add(b)
 	}
@@ -132,7 +172,7 @@ func (rs *replayState) runStage(st *Stage, stageRecv []blockSet) error {
 		blocks   blockSet
 	}
 	deliveries := make([]delivery, 0, len(st.Transfers))
-	for _, tr := range st.Transfers {
+	for ti, tr := range st.Transfers {
 		var moved blockSet
 		var err error
 		switch tr.Mode {
@@ -140,21 +180,22 @@ func (rs *replayState) runStage(st *Stage, stageRecv []blockSet) error {
 			moved = rs.held[tr.Src].clone()
 		case Range:
 			if moved, err = rs.rangeBlocks(tr.Src, tr.First, tr.N); err != nil {
-				return err
+				return fmt.Errorf("transfer %d (rank %d -> rank %d): %w", ti, tr.Src, tr.Dst, err)
 			}
 		case Latest:
 			if prev := stageRecv[tr.Src]; prev != nil {
 				moved = prev.clone()
 			} else if moved, err = rs.rangeBlocks(tr.Src, tr.First, tr.N); err != nil {
-				return err
+				return fmt.Errorf("transfer %d (rank %d -> rank %d): %w", ti, tr.Src, tr.Dst, err)
 			}
 		default:
-			return fmt.Errorf("sched: unknown transfer mode %d", tr.Mode)
+			return fmt.Errorf("transfer %d (rank %d -> rank %d): unknown transfer mode %d",
+				ti, tr.Src, tr.Dst, tr.Mode)
 		}
 		for _, d := range deliveries {
 			if d.dst == tr.Dst && d.blocks.intersects(moved) {
-				return fmt.Errorf("sched: ranks %d and %d deliver overlapping blocks to rank %d in one stage",
-					d.src, tr.Src, tr.Dst)
+				return fmt.Errorf("transfer %d: ranks %d and %d both deliver block %d to rank %d in one stage",
+					ti, d.src, tr.Src, d.blocks.firstCommon(moved), tr.Dst)
 			}
 		}
 		deliveries = append(deliveries, delivery{tr.Src, tr.Dst, moved})
@@ -212,7 +253,8 @@ func (s *Schedule) VerifyAllgather() error {
 	blocks := s.NumBlocks()
 	for r := 0; r < s.P; r++ {
 		if got := rs.held[r].count(); got != blocks {
-			return fmt.Errorf("sched: %q: rank %d ends with %d of %d blocks", s.Name, r, got, blocks)
+			return fmt.Errorf("sched: %q: rank %d ends with %d of %d blocks, missing %s",
+				s.Name, r, got, blocks, rs.held[r].missingFrom(blocks))
 		}
 	}
 	return nil
@@ -226,7 +268,8 @@ func (s *Schedule) VerifyGather(root int) error {
 	}
 	blocks := s.NumBlocks()
 	if got := rs.held[root].count(); got != blocks {
-		return fmt.Errorf("sched: %q: root holds %d of %d blocks", s.Name, got, blocks)
+		return fmt.Errorf("sched: %q: root rank %d ends with %d of %d blocks, missing %s",
+			s.Name, root, got, blocks, rs.held[root].missingFrom(blocks))
 	}
 	return nil
 }
@@ -251,7 +294,8 @@ func (s *Schedule) VerifyBroadcast(root int) error {
 	}
 	for r := 0; r < s.P; r++ {
 		if got := rs.held[r].count(); got != blocks {
-			return fmt.Errorf("sched: %q: rank %d ends with %d of %d blocks", s.Name, r, got, blocks)
+			return fmt.Errorf("sched: %q: rank %d ends with %d of %d blocks, missing %s",
+				s.Name, r, got, blocks, rs.held[r].missingFrom(blocks))
 		}
 	}
 	return nil
@@ -310,8 +354,8 @@ func (s *Schedule) VerifyAllreduce() error {
 				cur := contrib[d.dst][d.block]
 				if st.Reduce {
 					if cur.intersects(d.set) {
-						return fmt.Errorf("sched: %q: stage %d: rank %d would absorb a contribution twice for block %d",
-							s.Name, si, d.dst, d.block)
+						return fmt.Errorf("sched: %q: stage %d repeat %d: rank %d would absorb rank %d's contribution twice for block %d",
+							s.Name, si, rep, d.dst, cur.firstCommon(d.set), d.block)
 					}
 					cur.union(d.set)
 				} else {
@@ -323,7 +367,8 @@ func (s *Schedule) VerifyAllreduce() error {
 	for r := 0; r < p; r++ {
 		for b := 0; b < blocks; b++ {
 			if got := contrib[r][b].count(); got != p {
-				return fmt.Errorf("sched: %q: rank %d block %d absorbs %d of %d contributions", s.Name, r, b, got, p)
+				return fmt.Errorf("sched: %q: rank %d block %d absorbs %d of %d contributions, missing ranks %s",
+					s.Name, r, b, got, p, contrib[r][b].missingFrom(p))
 			}
 		}
 	}

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// The verify errors are the searcher's debugging surface: a pruned candidate
+// must name the offending stage, transfer, rank and block, and end-state
+// failures must list the missing blocks. These tests pin that contract.
+
+func TestVerifyErrorNamesStageRankBlock(t *testing.T) {
+	// Rank 1 sends block 0 it never received: the error must carry the
+	// stage index, the transfer index, both endpoints and the block.
+	s := &Schedule{Name: "bad-send", P: 3, Init: InitOwn, Stages: []Stage{
+		{Transfers: []Transfer{{Src: 0, Dst: 1, First: 0, N: 1, Mode: Range}}},
+		{Transfers: []Transfer{
+			{Src: 1, Dst: 2, First: 1, N: 1, Mode: Range},
+			{Src: 2, Dst: 0, First: 0, N: 1, Mode: Range}, // rank 2 never got block 0
+		}},
+	}}
+	err := s.VerifyAllgather()
+	if err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+	for _, want := range []string{"stage 1", "transfer 1", "rank 2", "block 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+func TestVerifyEndStateListsMissingBlocks(t *testing.T) {
+	// A schedule that moves nothing: every rank ends missing all blocks but
+	// its own, and the error enumerates them (capped).
+	s := &Schedule{Name: "incomplete", P: 4, Init: InitOwn, Stages: []Stage{
+		{Transfers: []Transfer{{Src: 0, Dst: 1, First: 0, N: 1, Mode: Range}}},
+	}}
+	err := s.VerifyAllgather()
+	if err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("end-state error lacks a missing-block list: %v", err)
+	}
+	// Rank 0 holds only block 0; the first failing rank is 0, missing 1 2 3.
+	if !strings.Contains(err.Error(), "missing 1 2 3") {
+		t.Errorf("end-state error does not enumerate missing blocks: %v", err)
+	}
+}
+
+func TestVerifyAllreduceDoubleAbsorbNamesContribution(t *testing.T) {
+	// Stage 0 reduces rank 0's copy into rank 1; stage 1 does it again —
+	// absorbing rank 0's contribution twice.
+	s := &Schedule{Name: "double", P: 2, Blocks: 1, Init: InitAll, Stages: []Stage{
+		{Reduce: true, Transfers: []Transfer{{Src: 0, Dst: 1, First: 0, N: 1, Mode: Range}}},
+		{Reduce: true, Transfers: []Transfer{{Src: 0, Dst: 1, First: 0, N: 1, Mode: Range}}},
+	}}
+	err := s.VerifyAllreduce()
+	if err == nil {
+		t.Fatal("double-absorbing schedule accepted")
+	}
+	for _, want := range []string{"stage 1", "rank 1", "rank 0's contribution", "block 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+func TestMissingFromCapsLongLists(t *testing.T) {
+	b := newBlockSet(20)
+	b.add(3)
+	got := b.missingFrom(20)
+	if !strings.Contains(got, "and 11 more") {
+		t.Errorf("missingFrom(20) = %q, want a capped list with remainder count", got)
+	}
+	if strings.Contains(got, "3") && !strings.Contains(got, "13") {
+		t.Errorf("missingFrom lists held block 3: %q", got)
+	}
+}

@@ -1,0 +1,31 @@
+package synth
+
+import "repro/internal/metrics"
+
+// synth_* instrumentation on the default registry, exposed through every
+// /metrics endpoint alongside the schedule_* executor families. Search
+// counters accumulate across searches; the table counters make front-door
+// adoption of synthesized schedules observable end-to-end.
+var (
+	synthCandidates = metrics.NewCounter("synth_candidates_total",
+		"Candidate schedules explored by the synthesis search (priced or pruned).")
+	synthPrunedVerify = metrics.NewCounter("synth_pruned_verify_total",
+		"Candidates pruned because they failed their family's Verify contract.")
+	synthPrunedBound = metrics.NewCounter("synth_pruned_bound_total",
+		"Candidates pruned because their lower bound beats neither the best price nor the best latency.")
+	synthPrunedShape = metrics.NewCounter("synth_pruned_shape_total",
+		"Candidates pruned because a mutation operator did not apply structurally.")
+	synthSearchSeconds = metrics.NewHistogram("synth_search_seconds",
+		"Wall time of one synthesis search (one family x size point).", metrics.DurationOpts)
+	synthTableHits = metrics.NewCounter("synth_table_hits_total",
+		"Front-door selections served by a synthesized-schedule table entry.")
+	synthTableMisses = metrics.NewCounter("synth_table_misses_total",
+		"Front-door selections that fell back to the hand-coded rules.")
+)
+
+// TableCounters returns the cumulative synth_table_hits_total and
+// synth_table_misses_total values, so tests can assert that a front door
+// actually adopted (or fell back from) a table entry.
+func TableCounters() (hits, misses uint64) {
+	return synthTableHits.Value(), synthTableMisses.Value()
+}

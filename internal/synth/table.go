@@ -1,0 +1,193 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"os"
+	"sort"
+
+	"repro/internal/simnet"
+)
+
+// SizeBucket maps a payload byte count to its table bucket: the ceiling
+// log2, so bucket b covers payloads in (2^(b-1), 2^b]. One search point per
+// bucket keeps tables small while staying within a factor of two of any
+// payload it serves.
+func SizeBucket(payloadBytes int) int {
+	if payloadBytes <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(payloadBytes - 1))
+}
+
+// Entry records one synthesis winner: the recipe to re-materialise it, the
+// schedule fingerprint that proves re-materialisation reproduced what the
+// search priced, and the prices that justified storing it.
+type Entry struct {
+	Family     string `json:"family"`
+	P          int    `json:"p"`
+	SizeBucket int    `json:"size_bucket"`
+	// PayloadBytes is the representative payload the search priced.
+	PayloadBytes int    `json:"payload_bytes"`
+	Recipe       Recipe `json:"recipe"`
+	// Schedule is the sched.Fingerprint of the materialised recipe.
+	Schedule string `json:"schedule"`
+	// Name is the materialised schedule's name (metrics/trace label).
+	Name string `json:"name"`
+	// PriceSeconds and BaselineSeconds are the modelled times of the winner
+	// and of the hand-coded selection it beat, at PayloadBytes.
+	PriceSeconds    float64 `json:"price_seconds"`
+	BaselineName    string  `json:"baseline_name"`
+	BaselineSeconds float64 `json:"baseline_seconds"`
+}
+
+func entryLess(a, b *Entry) bool {
+	if a.Family != b.Family {
+		return a.Family < b.Family
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.SizeBucket < b.SizeBucket
+}
+
+// Table is a serializable selection table for one topology: the winners of
+// offline searches, keyed by (family, rank count, size bucket). Marshalling
+// is deterministic — entries are kept sorted by key — so tables diff cleanly
+// and golden-test cheaply.
+type Table struct {
+	// Topology is the cluster fingerprint (topology.Cluster.Fingerprint,
+	// zero-padded hex) the entries were searched on. Lookups on a different
+	// topology must not use this table.
+	Topology string  `json:"topology"`
+	Entries  []Entry `json:"entries"`
+}
+
+// TopologyKey renders a cluster fingerprint as the table's topology key.
+func TopologyKey(c *simnet.Machine) string {
+	return fmt.Sprintf("%016x", c.Cluster.Fingerprint())
+}
+
+// NewTable returns an empty table bound to m's topology.
+func NewTable(m *simnet.Machine) *Table {
+	return &Table{Topology: TopologyKey(m)}
+}
+
+// Put inserts e, replacing any entry with the same (family, p, bucket) key
+// and keeping the entry list sorted.
+func (t *Table) Put(e Entry) {
+	i := sort.Search(len(t.Entries), func(i int) bool { return !entryLess(&t.Entries[i], &e) })
+	if i < len(t.Entries) && t.Entries[i].Family == e.Family &&
+		t.Entries[i].P == e.P && t.Entries[i].SizeBucket == e.SizeBucket {
+		t.Entries[i] = e
+		return
+	}
+	t.Entries = append(t.Entries, Entry{})
+	copy(t.Entries[i+1:], t.Entries[i:])
+	t.Entries[i] = e
+}
+
+// Lookup finds the entry covering (family, rank count, payload), or false.
+func (t *Table) Lookup(f Family, p, payloadBytes int) (*Entry, bool) {
+	if t == nil {
+		return nil, false
+	}
+	key := Entry{Family: f.String(), P: p, SizeBucket: SizeBucket(payloadBytes)}
+	i := sort.Search(len(t.Entries), func(i int) bool { return !entryLess(&t.Entries[i], &key) })
+	if i < len(t.Entries) && t.Entries[i].Family == key.Family &&
+		t.Entries[i].P == key.P && t.Entries[i].SizeBucket == key.SizeBucket {
+		return &t.Entries[i], true
+	}
+	return nil, false
+}
+
+// Merge copies every entry of o into t. Both tables must describe the same
+// topology.
+func (t *Table) Merge(o *Table) error {
+	if o.Topology != t.Topology {
+		return fmt.Errorf("synth: cannot merge table for topology %s into table for %s",
+			o.Topology, t.Topology)
+	}
+	for _, e := range o.Entries {
+		t.Put(e)
+	}
+	return nil
+}
+
+// Marshal renders the table as indented JSON. Entries are already sorted by
+// key, so equal tables marshal byte-identically.
+func (t *Table) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Unmarshal parses a table and re-sorts its entries, tolerating hand-edited
+// files.
+func Unmarshal(data []byte) (*Table, error) {
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("synth: parse table: %w", err)
+	}
+	sort.Slice(t.Entries, func(i, j int) bool { return entryLess(&t.Entries[i], &t.Entries[j]) })
+	return &t, nil
+}
+
+// WriteFile atomically is not needed here; tables are build artifacts.
+func (t *Table) WriteFile(path string) error {
+	b, err := t.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadFile reads a table written by WriteFile.
+func LoadFile(path string) (*Table, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(b)
+}
+
+// BuildTable searches every (family, p, payload) point and stores the
+// winners that price strictly better than the hand-coded baseline. It
+// returns the table alongside every search result (for reporting), in the
+// deterministic family-major order of the inputs.
+func BuildTable(m *simnet.Machine, families []Family, ps []int, payloads []int, opt Options) (*Table, []*Result, error) {
+	t := NewTable(m)
+	var results []*Result
+	for _, f := range families {
+		for _, p := range ps {
+			for _, payload := range payloads {
+				res, err := Search(m, nil, f, p, payload, opt)
+				if err != nil {
+					return nil, nil, fmt.Errorf("synth: search %v p=%d bytes=%d: %w", f, p, payload, err)
+				}
+				results = append(results, res)
+				if res.Best == nil || res.Baseline == nil {
+					continue
+				}
+				if res.Best.Price < res.Baseline.Price {
+					t.Put(Entry{
+						Family:          f.String(),
+						P:               p,
+						SizeBucket:      SizeBucket(payload),
+						PayloadBytes:    payload,
+						Recipe:          res.Best.Recipe,
+						Schedule:        res.Best.Fingerprint,
+						Name:            res.Best.Schedule.Name,
+						PriceSeconds:    res.Best.Price,
+						BaselineName:    res.Baseline.Schedule.Name,
+						BaselineSeconds: res.Baseline.Price,
+					})
+				}
+			}
+		}
+	}
+	return t, results, nil
+}

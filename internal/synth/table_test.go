@@ -1,0 +1,185 @@
+package synth
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSizeBucket(t *testing.T) {
+	cases := []struct{ bytes, bucket int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}, {2048, 11},
+	}
+	for _, c := range cases {
+		if got := SizeBucket(c.bytes); got != c.bucket {
+			t.Errorf("SizeBucket(%d) = %d, want %d", c.bytes, got, c.bucket)
+		}
+	}
+}
+
+func TestTablePutLookupMerge(t *testing.T) {
+	m := fatTree64(t)
+	tab := NewTable(m)
+	e := Entry{Family: "allgather", P: 64, SizeBucket: 11, PayloadBytes: 2048,
+		Recipe: Recipe{Alg: "neighbor-exchange"}, Schedule: "fp", Name: "neighbor-exchange"}
+	tab.Put(e)
+	tab.Put(Entry{Family: "allgather", P: 16, SizeBucket: 11, Recipe: Recipe{Alg: "ring"}})
+	tab.Put(Entry{Family: "bcast", P: 64, SizeBucket: 4, Recipe: Recipe{Alg: "binomial-broadcast"}})
+
+	if got, ok := tab.Lookup(Allgather, 64, 2048); !ok || got.Recipe.Alg != "neighbor-exchange" {
+		t.Fatalf("Lookup(allgather, 64, 2048) = %+v, %v", got, ok)
+	}
+	if _, ok := tab.Lookup(Allgather, 64, 4096); ok {
+		t.Error("lookup outside the stored bucket should miss")
+	}
+	if _, ok := tab.Lookup(Allreduce, 64, 2048); ok {
+		t.Error("lookup of an absent family should miss")
+	}
+
+	// Replacement keeps one entry per key.
+	e.Recipe.Alg = "bruck"
+	tab.Put(e)
+	if got, _ := tab.Lookup(Allgather, 64, 2048); got.Recipe.Alg != "bruck" {
+		t.Errorf("Put did not replace: %+v", got)
+	}
+	if len(tab.Entries) != 3 {
+		t.Errorf("expected 3 entries after replacement, got %d", len(tab.Entries))
+	}
+
+	other := NewTable(m)
+	other.Put(Entry{Family: "scatter", P: 8, SizeBucket: 7, Recipe: Recipe{Alg: "binomial-scatter"}})
+	if err := tab.Merge(other); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if len(tab.Entries) != 4 {
+		t.Errorf("merge lost entries: %d", len(tab.Entries))
+	}
+	bad := &Table{Topology: "deadbeefdeadbeef"}
+	if err := tab.Merge(bad); err == nil {
+		t.Error("merging a foreign topology should fail")
+	}
+}
+
+// TestTableGolden pins the serialized form of a search-built table — the
+// same regression discipline as the topology fingerprint goldens. Regenerate
+// with UPDATE_GOLDEN=1 go test ./internal/synth -run TestTableGolden.
+func TestTableGolden(t *testing.T) {
+	m := fatTree64(t)
+	tab, results, err := BuildTable(m, []Family{Allgather}, []int{16, 64}, []int{2048}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 search results, got %d", len(results))
+	}
+	got, err := tab.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "table_fattree64.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("table serialization drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Round trip: unmarshal then marshal is byte-identical.
+	rt, err := Unmarshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := rt.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Error("marshal/unmarshal round trip is not byte-identical")
+	}
+}
+
+func TestTableFileRoundTrip(t *testing.T) {
+	m := fatTree64(t)
+	tab, _, err := BuildTable(m, []Family{Allgather}, []int{64}, []int{2048}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tab.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := tab.Marshal()
+	b, _ := loaded.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Error("WriteFile/LoadFile round trip changed the table")
+	}
+}
+
+// TestSelectorServesTable: a selector hit re-materialises the winner,
+// proves its fingerprint, compiles through the shared cache, and enforces
+// per-payload divisibility; misses fall through cleanly.
+func TestSelectorServesTable(t *testing.T) {
+	m := fatTree64(t)
+	tab, _, err := BuildTable(m, []Family{Allgather}, []int{64}, []int{2048}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := tab.Lookup(Allgather, 64, 2048)
+	if !ok {
+		t.Fatal("BuildTable stored no winner for the acceptance point")
+	}
+	sel := NewSelector(tab)
+	prog, ok := sel.Program(Allgather, 64, 2048)
+	if !ok {
+		t.Fatal("selector missed a stored entry")
+	}
+	if prog.Name != entry.Name {
+		t.Errorf("selector served %q, table stored %q", prog.Name, entry.Name)
+	}
+	// Second call is memoised and identical.
+	prog2, ok := sel.Program(Allgather, 64, 2048)
+	if !ok || prog2 != prog {
+		t.Error("selector did not memoise the compiled program")
+	}
+	// Other keys miss.
+	if _, ok := sel.Program(Allgather, 32, 2048); ok {
+		t.Error("selector hit an absent rank count")
+	}
+	if _, ok := sel.Program(Broadcast, 64, 2048); ok {
+		t.Error("selector hit an absent family")
+	}
+	// A nil selector always misses.
+	var nilSel *Selector
+	if _, ok := nilSel.Program(Allgather, 64, 2048); ok {
+		t.Error("nil selector must miss")
+	}
+}
+
+// TestSelectorRejectsStaleFingerprint: an entry whose recipe no longer
+// reproduces the recorded fingerprint is refused, falling back to the
+// hand-coded rules rather than executing a different schedule than priced.
+func TestSelectorRejectsStaleFingerprint(t *testing.T) {
+	m := fatTree64(t)
+	tab := NewTable(m)
+	tab.Put(Entry{Family: "allgather", P: 64, SizeBucket: 11, PayloadBytes: 2048,
+		Recipe: Recipe{Alg: "ring"}, Schedule: "not-the-real-fingerprint", Name: "ring"})
+	sel := NewSelector(tab)
+	if _, ok := sel.Program(Allgather, 64, 2048); ok {
+		t.Fatal("selector served an entry with a stale fingerprint")
+	}
+}

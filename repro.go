@@ -12,6 +12,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/scotch"
 	"repro/internal/simnet"
+	"repro/internal/synth"
 	"repro/internal/topology"
 )
 
@@ -303,3 +304,32 @@ func Allgather(c *Comm, send, recv []byte, alg Algorithm) error {
 func NewReordered(c *Comm, m Mapping, mode OrderMode) (*Reordered, error) {
 	return collective.NewReordered(c, m, mode)
 }
+
+// Schedule-synthesis re-exports: offline-searched schedule tables and
+// per-world selection tuning (DESIGN.md §11).
+type (
+	// CollectiveConfig carries a world's collective selection state: the
+	// hand-coded thresholds plus an optional synthesized-schedule table.
+	CollectiveConfig = collective.Config
+	// CollectiveTuning holds the hand-coded selection thresholds.
+	CollectiveTuning = collective.Tuning
+	// SynthTable is a table of searched schedule winners, keyed by
+	// topology fingerprint x family x size bucket (written by cmd/synth).
+	SynthTable = synth.Table
+	// SynthSelector serves SynthTable entries to the collective front
+	// doors, memoizing materialization and rejecting stale fingerprints.
+	SynthSelector = synth.Selector
+)
+
+// Configure installs per-world collective configuration on c's world; any
+// rank may call it and every rank (and derived communicator) observes it.
+func Configure(c *Comm, cfg CollectiveConfig) { collective.Configure(c, cfg) }
+
+// DefaultCollectiveTuning returns the hand-coded selection thresholds.
+func DefaultCollectiveTuning() CollectiveTuning { return collective.DefaultTuning() }
+
+// LoadSynthTable reads a synthesized-schedule table written by cmd/synth.
+func LoadSynthTable(path string) (*SynthTable, error) { return synth.LoadFile(path) }
+
+// NewSynthSelector wraps a table for use as CollectiveConfig.Synth.
+func NewSynthSelector(t *SynthTable) *SynthSelector { return synth.NewSelector(t) }

@@ -3,7 +3,10 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"path/filepath"
 	"testing"
+
+	"repro/internal/synth"
 )
 
 func TestPlanAndSpeedup(t *testing.T) {
@@ -164,6 +167,55 @@ func TestPlanAll(t *testing.T) {
 func TestFacadeAllgather(t *testing.T) {
 	const p, blk = 8, 4
 	err := Run(p, func(c *Comm) error {
+		send := make([]byte, blk)
+		for i := range send {
+			send[i] = byte(c.Rank())
+		}
+		recv := make([]byte, p*blk)
+		if err := Allgather(c, send, recv, AlgAuto); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			if recv[r*blk] != byte(r) {
+				return fmt.Errorf("block %d wrong", r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeSynthTable drives the schedule-synthesis facade end to end: write
+// a table with cmd/synth's library path, load it back, configure a world with
+// it, and check the README's table-driven allgather sample actually works.
+func TestFacadeSynthTable(t *testing.T) {
+	m, err := NewMachine(GPC(), DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _, err := synth.BuildTable(m, []synth.Family{synth.Allgather}, []int{16}, []int{64}, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tab.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSynthTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p, blk = 16, 64
+	err = Run(p, func(c *Comm) error {
+		if c.Rank() == 0 {
+			Configure(c, CollectiveConfig{
+				Tuning: DefaultCollectiveTuning(),
+				Synth:  NewSynthSelector(loaded),
+			})
+		}
+		c.Barrier()
 		send := make([]byte, blk)
 		for i := range send {
 			send[i] = byte(c.Rank())
