@@ -7,6 +7,7 @@
 //	allgather -p 4096 -layout cyclic-bunch -size 65536
 //	allgather -p 64 -layout cyclic-scatter -size 1024 -real
 //	allgather -p 64 -size 1024 -real -trace allgather.trace.json
+//	allgather -p 64 -size 65536 -calibrate
 package main
 
 import (
@@ -36,10 +37,17 @@ func main() {
 	withScotch := flag.Bool("scotch", false, "also evaluate the Scotch baseline mapping")
 	real := flag.Bool("real", false, "also execute the collective on the goroutine runtime (small p only)")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the -real execution to this file (load in chrome://tracing or Perfetto)")
+	calibrate := flag.Bool("calibrate", false, "execute on the goroutine runtime with a cost-model calibrator attached and print the predicted-vs-measured skew table (small p only)")
+	rounds := flag.Int("rounds", 5, "allgather calls per size in -calibrate mode")
 	metricsOut := flag.String("metrics-out", "", "write a JSON snapshot of the metrics registry to this file at exit")
 	flag.Parse()
 
-	if err := run(os.Stdout, *p, *layoutName, *size, *alg, *withScotch, *real, *tracePath); err != nil {
+	if *calibrate {
+		if err := runCalibrate(os.Stdout, *p, *layoutName, *size, *alg, *rounds); err != nil {
+			fmt.Fprintln(os.Stderr, "allgather:", err)
+			os.Exit(1)
+		}
+	} else if err := run(os.Stdout, *p, *layoutName, *size, *alg, *withScotch, *real, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "allgather:", err)
 		os.Exit(1)
 	}
@@ -55,15 +63,9 @@ func run(w io.Writer, p int, layoutName string, size int, algName string, withSc
 	if tracePath != "" && !real {
 		return fmt.Errorf("-trace records the runtime execution and requires -real")
 	}
-	var kind topology.LayoutKind
-	found := false
-	for _, k := range topology.AllLayouts {
-		if k.String() == layoutName {
-			kind, found = k, true
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown layout %q", layoutName)
+	kind, err := lookupLayout(layoutName)
+	if err != nil {
+		return err
 	}
 
 	cluster := topology.GPC()
@@ -161,6 +163,39 @@ func run(w io.Writer, p int, layoutName string, size int, algName string, withSc
 		}
 	}
 	return nil
+}
+
+// lookupLayout resolves a -layout value to its LayoutKind.
+func lookupLayout(name string) (topology.LayoutKind, error) {
+	for _, k := range topology.AllLayouts {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return topology.LayoutKind{}, fmt.Errorf("unknown layout %q", name)
+}
+
+// runCalibrate executes the collective for real with a calibrator joined
+// against the cost model and prints the predicted-vs-measured skew table.
+func runCalibrate(w io.Writer, p int, layoutName string, size int, algName string, rounds int) error {
+	if p > 1024 {
+		return fmt.Errorf("-calibrate spawns a real goroutine world and is intended for small process counts (got %d)", p)
+	}
+	kind, err := lookupLayout(layoutName)
+	if err != nil {
+		return err
+	}
+	alg, err := collective.ParseAlgorithm(algName)
+	if err != nil {
+		return err
+	}
+	return collective.Calibrate(w, collective.CalibrateConfig{
+		P:      p,
+		Sizes:  []int{size},
+		Rounds: rounds,
+		Alg:    alg,
+		Layout: kind,
+	})
 }
 
 // resolveAlgorithm maps an -alg value to its schedule, fine-tuned heuristic

@@ -3,8 +3,11 @@
 // answers with the rank permutation, the modelled default/reordered latency
 // per message size and the adaptive-routing decision; /stats exposes the
 // service counters, /metrics the Prometheus text exposition of every
-// instrumented layer, and /healthz liveness. With -pprof, the net/http/pprof
-// profiling endpoints mount under /debug/pprof/.
+// instrumented layer (including the SLO burn-rate gauges), /healthz
+// liveness, /readyz readiness (503 once the worker-pool queue reaches the
+// shedding threshold), /debug/flight the process-wide schedule flight ring
+// and /calibration the cost-model calibration report. With -pprof, the
+// net/http/pprof profiling endpoints mount under /debug/pprof/.
 //
 // Usage:
 //

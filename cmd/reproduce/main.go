@@ -7,9 +7,13 @@
 // Usage:
 //
 //	reproduce [-fig 3|4|5|6|7|all] [-p 4096] [-quick]
+//	reproduce -calibrate
 //
 // -quick runs a reduced size sweep and 256 processes, finishing in seconds;
 // the default regenerates the full 4096-process evaluation (minutes).
+// -calibrate skips the figures and instead runs laptop-scale allgathers on
+// the real goroutine runtime, printing the cost model's predicted-vs-measured
+// skew table.
 package main
 
 import (
@@ -33,10 +37,16 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables")
 	tracePath := flag.String("trace", "", "also run a laptop-scale allgather on the real runtime and write its Chrome trace to this file")
+	calibrate := flag.Bool("calibrate", false, "skip the figures: run laptop-scale allgathers on the real runtime with a cost-model calibrator attached and print the predicted-vs-measured skew table")
 	metricsOut := flag.String("metrics-out", "", "write a JSON snapshot of the metrics registry to this file at exit")
 	flag.Parse()
 
-	if err := run(os.Stdout, *fig, *procs, *quick, *csvOut, *tracePath); err != nil {
+	if *calibrate {
+		if err := runCalibrate(os.Stdout, *procs); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+	} else if err := run(os.Stdout, *fig, *procs, *quick, *csvOut, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)
 		os.Exit(1)
 	}
@@ -194,6 +204,23 @@ func run(w io.Writer, fig string, procs int, quick, csvOut bool, tracePath strin
 		}
 	}
 	return nil
+}
+
+// runCalibrate executes laptop-scale allgathers for real with a cost-model
+// calibrator joined against the same simnet machine that prices the figures,
+// and prints the predicted-vs-measured skew table. One size below and one
+// above the ring switch point exercises both algorithm families AlgAuto
+// selects.
+func runCalibrate(w io.Writer, procs int) error {
+	p := procs
+	if p > 64 {
+		p = 64 // power of two, keeps the recursive doubling leg valid
+	}
+	return collective.Calibrate(w, collective.CalibrateConfig{
+		P:     p,
+		Sizes: []int{512, 65536},
+		Alg:   collective.AlgAuto,
+	})
 }
 
 // writeRuntimeTrace runs a laptop-scale flat + hierarchical-style allgather

@@ -2,6 +2,7 @@ package collective
 
 import (
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/synth"
 )
 
@@ -24,6 +25,14 @@ type Config struct {
 	// Synth serves winners from a loaded synth.Table. A nil selector always
 	// misses, leaving the hand-coded rules in charge.
 	Synth *synth.Selector
+	// Flight overrides the flight recorder the executor's sampling rank
+	// records execution profiles into. Nil selects the process-wide
+	// obs.Flight ring.
+	Flight *obs.Recorder
+	// Calibrator, when set, receives every sampled execution profile for
+	// measured-vs-predicted skew tracking and drift detection. Nil (the
+	// default) keeps the executor's record path allocation-free.
+	Calibrator *obs.Calibrator
 }
 
 // Configure installs cfg as the world's collective configuration. It is

@@ -17,10 +17,12 @@ package collective
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -71,6 +73,9 @@ type execMetrics struct {
 	transfers    *metrics.Counter
 	bytes        *metrics.Counter
 	stageSeconds *metrics.Histogram
+	// sampleTick counts the sample rank's executions of this program for
+	// Tuning.StageSampleEvery rate division.
+	sampleTick atomic.Uint64
 }
 
 var execMetricsCache sync.Map // program name -> *execMetrics
@@ -153,13 +158,41 @@ func executeProgram(c *mpi.Comm, prog *sched.Program, buf []byte, blk int, place
 		placeOff = resolvePlaceOffsets(place, prog.Blocks, blk)
 		defer freePlaceOffsets(placeOff)
 	}
-	// Stage timing is sampled on rank 0 only: a stage's duration is a
+	// Stage timing is sampled on one rank only: a stage's duration is a
 	// collective property, and every rank clocking it would both multiply
 	// the histogram's count by p and put two time syscalls plus an Observe
-	// on each rank's critical path. Send counters accumulate in locals and
-	// flush once per execution — per-message atomic adds on shared counters
-	// ping-pong cache lines across the communicator's ranks.
-	timed := me == 0
+	// on each rank's critical path. The sample rank (default 0) and rate
+	// (default every execution) come from the world's Tuning, so the flight
+	// recorder can be pointed at a straggler rank. Send counters accumulate
+	// in locals and flush once per execution — per-message atomic adds on
+	// shared counters ping-pong cache lines across the communicator's ranks.
+	cfg := configOf(c)
+	sampleRank := cfg.Tuning.StageSampleRank % c.Size()
+	if sampleRank < 0 {
+		sampleRank += c.Size()
+	}
+	timed := me == sampleRank
+	if timed && cfg.Tuning.StageSampleEvery > 1 {
+		timed = em.sampleTick.Add(1)%uint64(cfg.Tuning.StageSampleEvery) == 0
+	}
+	// prof accumulates the sampled execution's flight-recorder profile on
+	// the stack; stage times bin by pricing-view index so they line up with
+	// simnet.Breakdown. Recording is a by-value copy into the ring — the
+	// profile never escapes and the steady state stays allocation-free.
+	var prof obs.Profile
+	var priceMap []int32
+	if timed {
+		priceMap = prog.PriceStageMap()
+		prof = obs.Profile{
+			Program:    prog.Name,
+			P:          int32(prog.P),
+			Blocks:     int32(prog.Blocks),
+			BlockBytes: int32(blk),
+			Rank:       int32(me),
+			UnixNanos:  time.Now().UnixNano(),
+			Stages:     int32(len(prog.Stages)),
+		}
+	}
 	var sent, sentBytes uint64
 	cur := int32(-1)
 	var stageStart time.Time
@@ -168,7 +201,9 @@ func executeProgram(c *mpi.Comm, prog *sched.Program, buf []byte, blk int, place
 		if stp.Stage != cur {
 			if timed {
 				if cur >= 0 {
-					em.stageSeconds.Observe(time.Since(stageStart).Seconds())
+					d := time.Since(stageStart).Seconds()
+					em.stageSeconds.Observe(d)
+					prof.AddStage(int(priceMap[cur]), d)
 				}
 				stageStart = time.Now()
 			}
@@ -242,11 +277,25 @@ func executeProgram(c *mpi.Comm, prog *sched.Program, buf []byte, blk int, place
 		mpi.FreeBuf(in)
 	}
 	if timed && cur >= 0 {
-		em.stageSeconds.Observe(time.Since(stageStart).Seconds())
+		d := time.Since(stageStart).Seconds()
+		em.stageSeconds.Observe(d)
+		prof.AddStage(int(priceMap[cur]), d)
 	}
 	if sent > 0 {
 		em.transfers.Add(sent)
 		em.bytes.Add(sentBytes)
+	}
+	if timed {
+		prof.Transfers = int64(sent)
+		prof.Bytes = int64(sentBytes)
+		rec := cfg.Flight
+		if rec == nil {
+			rec = obs.Flight
+		}
+		rec.Record(prof)
+		if cfg.Calibrator != nil {
+			cfg.Calibrator.ObserveExecution(prog, prof)
+		}
 	}
 	return nil
 }

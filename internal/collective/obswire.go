@@ -1,0 +1,22 @@
+// Wiring between the mpi watchdog and the obs flight recorder. It lives in
+// collective — the package that already imports both — so neither mpi nor
+// obs needs to know about the other.
+package collective
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+func init() {
+	// A firing watchdog means a world is wedged: flush the flight ring so
+	// the schedule executions leading up to the deadlock survive next to
+	// the blocked-rank report.
+	mpi.OnWatchdog(func(report string) {
+		reason := "mpi watchdog fired"
+		if report != "" {
+			reason = "mpi watchdog: " + report
+		}
+		obs.DumpFlight(reason) //nolint:errcheck // best-effort crash artifact
+	})
+}

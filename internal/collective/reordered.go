@@ -66,6 +66,15 @@ type Tuning struct {
 	// prefers the reduce-scatter + allgather schedule when the communicator
 	// shape admits it (default RabenseifnerThresholdBytes).
 	RabenseifnerThreshold int
+	// StageSampleRank selects the rank that clocks per-stage wall time and
+	// records flight-recorder profiles (default rank 0). Pointing it at a
+	// straggler rank makes the recorder see that rank's view of each stage.
+	// Values outside [0, p) wrap modulo the communicator size.
+	StageSampleRank int
+	// StageSampleEvery records one profile per this many executions on the
+	// sample rank (default 1: every execution). Raising it cheapens very
+	// high-rate workloads at the cost of profile coverage.
+	StageSampleEvery int
 }
 
 // DefaultTuning returns the MVAPICH-style defaults the paper's evaluation

@@ -385,19 +385,52 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
-// interpolating linearly inside the selected bucket. Values beyond the last
+// interpolating linearly inside the selected bucket. The extremes report
+// bucket edges rather than interpolating: q=0 is the lower edge of the
+// first occupied bucket (a min estimate) and q=1 the upper edge of the last
+// occupied one (a max estimate). A bucket holding a single observation
+// reports its midpoint for every interior q — one sample gives the
+// histogram no basis for a within-bucket gradient. Values beyond the last
 // finite bound are reported as that bound — the histogram cannot resolve
-// further. Returns 0 when nothing was observed. Not a hot path: it copies
-// the counts once.
+// further. Returns 0 when nothing was observed or q is NaN. Not a hot
+// path: it copies the counts once.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
-	if total == 0 {
+	if total == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q < 0 {
 		q = 0
 	} else if q > 1 {
 		q = 1
+	}
+	last := h.bounds[len(h.bounds)-1]
+	if q == 0 {
+		for i := range h.counts {
+			if h.counts[i].Load() == 0 {
+				continue
+			}
+			if i == 0 {
+				return 0
+			}
+			if i >= len(h.bounds) {
+				return last // +Inf bucket's lower edge is the last bound
+			}
+			return h.bounds[i-1]
+		}
+		return 0
+	}
+	if q == 1 {
+		for i := len(h.counts) - 1; i >= 0; i-- {
+			if h.counts[i].Load() == 0 {
+				continue
+			}
+			if i >= len(h.bounds) {
+				return last // +Inf bucket: saturate at the last finite bound
+			}
+			return h.bounds[i]
+		}
+		return last
 	}
 	rank := q * float64(total)
 	var cum float64
@@ -407,22 +440,38 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		if cum+n >= rank {
-			hi := h.bounds[len(h.bounds)-1]
-			lo := 0.0
-			if i < len(h.bounds) {
-				hi = h.bounds[i]
-			} else {
-				return hi // +Inf bucket: saturate at the last finite bound
+			if i >= len(h.bounds) {
+				return last // +Inf bucket: saturate at the last finite bound
 			}
+			hi := h.bounds[i]
+			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
+			}
+			if n == 1 {
+				return lo + (hi-lo)/2
 			}
 			frac := (rank - cum) / n
 			return lo + (hi-lo)*frac
 		}
 		cum += n
 	}
-	return h.bounds[len(h.bounds)-1]
+	return last
+}
+
+// CountAtOrBelow returns the number of observations in buckets whose upper
+// bound does not exceed v — the largest count provably at or below v given
+// the bucket resolution. SLO trackers use it to split a latency histogram
+// into within-objective and violating observations.
+func (h *Histogram) CountAtOrBelow(v float64) uint64 {
+	var cum uint64
+	for i, b := range h.bounds {
+		if b > v {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
 }
 
 // Histogram returns the (unlabeled) histogram family's single series. A

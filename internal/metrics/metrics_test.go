@@ -194,3 +194,78 @@ func TestConcurrentObservers(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestHistogramQuantileEdges pins the extreme-bucket behavior: q=0/q=1
+// report bucket edges, a single-observation bucket reports its midpoint for
+// interior q, overflow saturates at the last finite bound, and NaN is
+// rejected.
+func TestHistogramQuantileEdges(t *testing.T) {
+	opts := HistogramOpts{Start: 1, Factor: 2, Count: 4} // bounds 1, 2, 4, 8
+	mk := func(name string, vals ...float64) *Histogram {
+		h := NewRegistry().Histogram(name, "help", opts)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	for _, tc := range []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64
+	}{
+		{"empty q0", mk("e0"), 0, 0},
+		{"empty q1", mk("e1"), 1, 0},
+		{"nan q", mk("nan", 1, 2, 3), math.NaN(), 0},
+		// q=0: lower edge of the first occupied bucket.
+		{"q0 first bucket", mk("q0a", 0.5, 0.7), 0, 0},
+		{"q0 interior bucket", mk("q0b", 3, 5, 7), 0, 2}, // 3 lands in (2, 4]
+		{"q0 overflow only", mk("q0c", 100), 0, 8},
+		// q=1: upper edge of the last occupied bucket.
+		{"q1 first bucket", mk("q1a", 0.5), 1, 1},
+		{"q1 interior bucket", mk("q1b", 0.5, 3), 1, 4},
+		{"q1 overflow", mk("q1c", 0.5, 100), 1, 8},
+		// A single observation reports its bucket midpoint for interior q,
+		// independent of q.
+		{"single obs p25", mk("s1", 3), 0.25, 3},
+		{"single obs p50", mk("s2", 3), 0.5, 3},
+		{"single obs p99", mk("s3", 3), 0.99, 3},
+		// Below-range q clamps to the extremes' edge semantics.
+		{"clamp low", mk("cl", 3), -1, 2},
+		{"clamp high", mk("ch", 3), 2, 4},
+		// Two observations split across buckets: the median rank lands in
+		// the first bucket, which holds one sample, so its midpoint rules.
+		{"median across buckets", mk("mb", 0.5, 3), 0.5, 0.5},
+		// Overflow-only interior quantile saturates at the last bound.
+		{"overflow interior", mk("oi", 100, 200), 0.5, 8},
+	} {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramCountAtOrBelow pins the SLO split: only buckets whose upper
+// bound is provably within v count.
+func TestHistogramCountAtOrBelow(t *testing.T) {
+	h := NewRegistry().Histogram("cab", "help", HistogramOpts{Start: 1, Factor: 2, Count: 4})
+	for _, v := range []float64{0.5, 1, 2, 3, 5, 100} {
+		h.Observe(v) // buckets: (0,1]=2 (1,2]=1 (2,4]=1 (4,8]=1 +Inf=1
+	}
+	for _, tc := range []struct {
+		v    float64
+		want uint64
+	}{
+		{0.5, 0},  // no bucket bound is <= 0.5
+		{1, 2},    // bucket (0,1]
+		{1.5, 2},  // (1,2] not fully covered
+		{2, 3},
+		{4, 4},
+		{8, 5},
+		{1e12, 5}, // +Inf bucket never counts: unbounded values can exceed any v
+	} {
+		if got := h.CountAtOrBelow(tc.v); got != tc.want {
+			t.Errorf("CountAtOrBelow(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}

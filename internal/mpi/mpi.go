@@ -178,6 +178,7 @@ func (w *World) expire() {
 	w.deadMu.Lock()
 	w.report = report
 	w.deadMu.Unlock()
+	notifyWatchdog(report)
 	for _, p := range w.procs {
 		p.mu.Lock()
 		p.cond.Broadcast()

@@ -1,0 +1,32 @@
+package mpi
+
+import "sync"
+
+// watchdogHooks holds the process-wide callbacks invoked when any world's
+// trace watchdog fires. Registration is append-only: hooks are package
+// wiring (the observability layer dumps its flight ring here), not per-world
+// state.
+var watchdogHooks struct {
+	mu  sync.Mutex
+	fns []func(report string)
+}
+
+// OnWatchdog registers fn to run whenever a world's watchdog expires, after
+// the blocked-rank report is built and before blocked receivers are woken.
+// fn receives the report ("" when no rank was blocked) and runs on the
+// watchdog's timer goroutine, so it must not call back into the dying world.
+func OnWatchdog(fn func(report string)) {
+	watchdogHooks.mu.Lock()
+	watchdogHooks.fns = append(watchdogHooks.fns, fn)
+	watchdogHooks.mu.Unlock()
+}
+
+// notifyWatchdog invokes the registered hooks with the report.
+func notifyWatchdog(report string) {
+	watchdogHooks.mu.Lock()
+	fns := watchdogHooks.fns
+	watchdogHooks.mu.Unlock()
+	for _, fn := range fns {
+		fn(report)
+	}
+}

@@ -36,12 +36,13 @@ type Program struct {
 	// schedule order.
 	Stages []ProgStage
 
-	execOnce   sync.Once
-	execErr    error
-	execStages []ExecStage
-	ops        []ExecOp
-	blockIdx   []int32
-	steps      [][]RankStep
+	execOnce    sync.Once
+	execErr     error
+	execStages  []ExecStage
+	ops         []ExecOp
+	blockIdx    []int32
+	steps       [][]RankStep
+	execToPrice []int32
 
 	// offsets caches blockIdx scaled to byte offsets for one block size
 	// (see BlockOffsets). Programs are overwhelmingly executed at a single
@@ -139,6 +140,14 @@ func (p *Program) OpBlocks(op ExecOp) []int32 { return p.blockIdx[op.Blk0 : op.B
 // RankSteps returns rank r's linear execution stream; call EnsureExecutable
 // first.
 func (p *Program) RankSteps(r int) []RankStep { return p.steps[r] }
+
+// PriceStageMap maps each expanded (executable-view) stage index back to its
+// pricing-view stage index: PriceStageMap()[e] is the position in Stages of
+// the stage that expanded into ExecStages()[e]. Repeated stages map their
+// repeats to one pricing index; Pre stages never appear (they are priced,
+// not executed). The flight recorder uses this to bin measured stage times
+// against simnet.Breakdown indices. Call EnsureExecutable first.
+func (p *Program) PriceStageMap() []int32 { return p.execToPrice }
 
 // BlockOffsets returns the identity-placement byte offset of every blockIdx
 // entry for block size blk: BlockOffsets(blk)[i] == int(blockIdx[i]) * blk.
@@ -274,6 +283,7 @@ func (p *Program) buildExec() {
 				}
 			}
 			p.execStages = append(p.execStages, ExecStage{Reduce: st.Reduce, Op0: op0, OpN: len(p.ops)})
+			p.execToPrice = append(p.execToPrice, int32(si))
 		}
 	}
 	// Per-rank linear streams: sends first, then receives, each in

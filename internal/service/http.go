@@ -6,15 +6,21 @@ import (
 	"net/http"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Handler exposes the service over HTTP:
 //
-//	POST /map     — body: Request JSON; reply: Response JSON
-//	GET  /stats   — service counters (Stats JSON)
-//	GET  /metrics — Prometheus text exposition of the process default
-//	                registry merged with the service registry
-//	GET  /healthz — liveness probe
+//	POST /map          — body: Request JSON; reply: Response JSON
+//	GET  /stats        — service counters (Stats JSON)
+//	GET  /metrics      — Prometheus text exposition of the process default
+//	                     registry merged with the service registry
+//	GET  /healthz      — liveness probe
+//	GET  /readyz       — readiness probe; 503 once the pool queue reaches
+//	                     the shedding threshold (Config.ReadyMaxQueue)
+//	GET  /debug/flight — process-wide schedule flight ring as JSON
+//	GET  /calibration  — cost-model calibration report (obs.Global);
+//	                     ?format=table renders the human table
 //
 // Invalid requests answer 400 with {"error": "..."}; a deadline never turns
 // into an error status — it degrades inside a 200 response.
@@ -27,6 +33,9 @@ func (s *Service) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write([]byte(`{"ok":true}` + "\n"))
 	})
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("/calibration", s.handleCalibration)
 	return mux
 }
 
@@ -65,6 +74,48 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	metrics.WritePrometheus(w, metrics.Default, s.stats.reg)
+}
+
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	ready := s.Ready()
+	status := http.StatusOK
+	if !ready.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ready)
+}
+
+func (s *Service) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.Flight.WriteJSON(w, "http")
+}
+
+func (s *Service) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	report := &obs.Report{Entries: []obs.ReportEntry{}}
+	if cal := obs.Global(); cal != nil {
+		report = cal.Report()
+		if report.Entries == nil {
+			report.Entries = []obs.ReportEntry{}
+		}
+	}
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(report.String()))
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

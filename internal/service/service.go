@@ -52,6 +52,17 @@ type Config struct {
 	MaxTimeout time.Duration
 	// Params overrides the cost-model constants (default simnet.DefaultParams).
 	Params *simnet.Params
+	// SLOLatency is the per-request latency objective the burn-rate alerts
+	// measure against (default 500ms).
+	SLOLatency time.Duration
+	// SLOTarget is the objective's success fraction; the error budget is
+	// 1-SLOTarget (default 0.99).
+	SLOTarget float64
+	// SLOTick is the burn-rate sampling period (default 10s).
+	SLOTick time.Duration
+	// ReadyMaxQueue is the pool queue depth at which /readyz starts
+	// shedding (default 2x Workers).
+	ReadyMaxQueue int
 }
 
 func (cfg *Config) withDefaults() Config {
@@ -68,40 +79,61 @@ func (cfg *Config) withDefaults() Config {
 	if out.MaxTimeout <= 0 {
 		out.MaxTimeout = 60 * time.Second
 	}
+	if out.SLOLatency <= 0 {
+		out.SLOLatency = 500 * time.Millisecond
+	}
+	if out.SLOTarget <= 0 || out.SLOTarget >= 1 {
+		out.SLOTarget = 0.99
+	}
+	if out.SLOTick <= 0 {
+		out.SLOTick = 10 * time.Second
+	}
+	if out.ReadyMaxQueue <= 0 {
+		out.ReadyMaxQueue = 2 * out.Workers
+	}
 	return out
 }
 
 // Service is the mapping service. Create with New, share freely across
 // goroutines, Close when done.
 type Service struct {
-	cfg     Config
-	pool    *workerPool
-	cache   *resultCache
-	flight  *flightGroup
-	stats   *statsCollector
-	topoFPs sync.Map // canonical topology spec -> uint64 cluster fingerprint
+	cfg      Config
+	pool     *workerPool
+	cache    *resultCache
+	flight   *flightGroup
+	stats    *statsCollector
+	burn     burnTracker
+	stopBurn chan struct{}
+	stopOnce sync.Once
+	topoFPs  sync.Map // canonical topology spec -> uint64 cluster fingerprint
 }
 
 // New builds a Service from cfg (zero value: all defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	stats := newStatsCollector()
-	return &Service{
-		cfg:    cfg,
-		pool:   newWorkerPool(cfg.Workers, stats.queueDepth),
-		cache:  newResultCache(cfg.CacheEntries, stats.evictions, stats.cacheEntries),
-		flight: newFlightGroup(),
-		stats:  stats,
+	s := &Service{
+		cfg:      cfg,
+		pool:     newWorkerPool(cfg.Workers, stats.queueDepth),
+		cache:    newResultCache(cfg.CacheEntries, stats.evictions, stats.cacheEntries),
+		flight:   newFlightGroup(),
+		stats:    stats,
+		stopBurn: make(chan struct{}),
 	}
+	go s.burnLoop()
+	return s
 }
 
 // Registry returns the service's private metrics registry, for merging into
 // an exposition endpoint alongside the process default registry.
 func (s *Service) Registry() *metrics.Registry { return s.stats.reg }
 
-// Close drains the worker pool. In-flight computations finish; subsequent
-// Compute calls panic.
-func (s *Service) Close() { s.pool.close() }
+// Close drains the worker pool and stops the SLO sampler. In-flight
+// computations finish; subsequent Compute calls panic.
+func (s *Service) Close() {
+	s.stopOnce.Do(func() { close(s.stopBurn) })
+	s.pool.close()
+}
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats { return s.stats.snapshot(s.cache.len()) }

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestBurnTrackerRate(t *testing.T) {
+	base := time.Unix(1_000_000, 0)
+	var b burnTracker
+	// No samples / single sample: nothing to burn.
+	if r := b.rate(burnFastWindow, 0.99); r != 0 {
+		t.Fatalf("empty tracker burn = %v, want 0", r)
+	}
+	b.record(burnSample{at: base, total: 0, good: 0})
+	if r := b.rate(burnFastWindow, 0.99); r != 0 {
+		t.Fatalf("single-sample burn = %v, want 0", r)
+	}
+	// 100 requests over the window, 2 violating the objective, budget 1%:
+	// burn = (2/100)/0.01 = 2.
+	b.record(burnSample{at: base.Add(time.Minute), total: 100, good: 98})
+	if r := b.rate(burnFastWindow, 0.99); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("burn = %v, want 2", r)
+	}
+	// All within objective since: burn decays to 0 once the old window
+	// slides out.
+	b.record(burnSample{at: base.Add(10 * time.Minute), total: 200, good: 198})
+	if r := b.rate(burnFastWindow, 0.99); r != 0 {
+		t.Fatalf("recovered burn = %v, want 0 (violations left the fast window)", r)
+	}
+	// The slow window still sees them: 2 bad of 200 total → burn 1.
+	if r := b.rate(burnSlowWindow, 0.99); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("slow burn = %v, want 1", r)
+	}
+	// An idle window (no new traffic) burns nothing.
+	b.record(burnSample{at: base.Add(20 * time.Minute), total: 200, good: 198})
+	if r := b.rate(burnFastWindow, 0.99); r != 0 {
+		t.Fatalf("idle burn = %v, want 0", r)
+	}
+}
+
+func TestBurnGaugesFromLatencyHistogram(t *testing.T) {
+	s := New(Config{Workers: 1, SLOLatency: 4 * time.Microsecond, SLOTarget: 0.9})
+	defer s.Close()
+	now := time.Unix(1_000_000, 0)
+	s.sampleBurn(now)
+	// Four fast requests, one slow: 20% of traffic violates a 10% budget.
+	for _, lat := range []float64{1e-6, 2e-6, 3e-6, 3e-6, 1.0} {
+		s.stats.latency.Observe(lat)
+	}
+	s.sampleBurn(now.Add(time.Minute))
+	if got := s.stats.burnFast.Value(); got != 2000 {
+		t.Fatalf("fast burn gauge = %d milli, want 2000 (burn 2.0)", got)
+	}
+	if got := s.stats.burnSlow.Value(); got != 2000 {
+		t.Fatalf("slow burn gauge = %d milli, want 2000", got)
+	}
+	// The gauges reach exposition under the documented name.
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `mapd_slo_burn_rate_milli{window="fast"} 2000`) {
+		t.Fatalf("/metrics lacks the fast burn gauge:\n%s", body)
+	}
+}
+
+func TestReadyzSheds(t *testing.T) {
+	s := New(Config{Workers: 2, ReadyMaxQueue: 3})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func() (int, Readiness) {
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var r Readiness
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, r
+	}
+
+	if code, r := get(); code != http.StatusOK || !r.Ready {
+		t.Fatalf("idle readyz = %d %+v, want 200 ready", code, r)
+	}
+	// Saturate the queue-depth gauge to the shedding threshold: /readyz
+	// must refuse before submissions start eating whole request deadlines.
+	s.stats.queueDepth.Add(3)
+	code, r := get()
+	s.stats.queueDepth.Add(-3)
+	if code != http.StatusServiceUnavailable || r.Ready || r.Reason == "" {
+		t.Fatalf("saturated readyz = %d %+v, want 503 with reason", code, r)
+	}
+	if code, r := get(); code != http.StatusOK || !r.Ready {
+		t.Fatalf("drained readyz = %d %+v, want 200 ready again", code, r)
+	}
+}
+
+func TestFlightAndCalibrationEndpoints(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d obs.Dump
+	err = json.NewDecoder(resp.Body).Decode(&d)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/flight is not a flight dump: %v", err)
+	}
+	if d.Capacity != obs.Flight.Capacity() {
+		t.Fatalf("/debug/flight capacity = %d, want %d", d.Capacity, obs.Flight.Capacity())
+	}
+
+	// Without a process calibrator the report is empty but well-formed.
+	resp, err = http.Get(srv.URL + "/calibration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"entries": []`) {
+		t.Fatalf("/calibration without a calibrator = %s, want empty entries", body)
+	}
+
+	// The table format renders through Report.String.
+	resp, err = http.Get(srv.URL + "/calibration?format=table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "calibration on topology") {
+		t.Fatalf("table format = %q, want the rendered header", body)
+	}
+}

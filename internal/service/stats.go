@@ -27,6 +27,9 @@ type statsCollector struct {
 	cacheEntries *metrics.Gauge
 	queueDepth   *metrics.Gauge
 	latency      *metrics.Histogram
+	burnRates    *metrics.GaugeVec
+	burnFast     *metrics.Gauge
+	burnSlow     *metrics.Gauge
 }
 
 // newStatsCollector builds the instrument set on its own registry.
@@ -58,6 +61,12 @@ func newStatsCollector() *statsCollector {
 		"Submissions waiting for a free pool worker.")
 	s.latency = reg.Histogram("mapd_request_seconds",
 		"End-to-end mapping request latency.", metrics.DurationOpts)
+	s.burnRates = reg.GaugeVec("mapd_slo_burn_rate_milli",
+		"SLO error-budget burn rate x1000 over the trailing window: 1000 "+
+			"spends the budget exactly at the SLO period; higher burns faster.",
+		"window")
+	s.burnFast = s.burnRates.With("window", "fast")
+	s.burnSlow = s.burnRates.With("window", "slow")
 	return s
 }
 

@@ -54,6 +54,13 @@ func (m *Machine) Explain(s *sched.Schedule, layout []int, blockBytes int) (*Bre
 	if err != nil {
 		return nil, err
 	}
+	return m.ExplainProgram(prog, layout, blockBytes)
+}
+
+// ExplainProgram is Explain for an already-compiled program. Stage indices
+// of the result are positions in prog.Stages (the pricing view), the same
+// index space sched.Program.PriceStageMap and obs profiles bin against.
+func (m *Machine) ExplainProgram(prog *sched.Program, layout []int, blockBytes int) (*Breakdown, error) {
 	if _, err := m.PriceProgram(prog, layout, blockBytes); err != nil {
 		return nil, err
 	}
