@@ -30,13 +30,40 @@ func AdaptivePolicy(s *Setup, layout []int, m core.Mapping, pat core.Pattern, or
 	if err != nil {
 		return nil, err
 	}
+	// Both communicators' contention profiles are size-independent, so the
+	// sweep aggregates each once and prices every size from the envelopes —
+	// bit-identical to pricing size by size (see simnet.PriceProfile).
+	prog, err := sched.CompileCached(schedule)
+	if err != nil {
+		return nil, err
+	}
+	defProfile, err := s.Machine.Profile(prog, layout)
+	if err != nil {
+		return nil, err
+	}
+	eff, err := m.Apply(layout)
+	if err != nil {
+		return nil, err
+	}
+	withOrder, err := sched.WithOrderPreservation(schedule, m, order)
+	if err != nil {
+		return nil, err
+	}
+	reProg, err := sched.CompileCached(withOrder)
+	if err != nil {
+		return nil, err
+	}
+	reProfile, err := s.Machine.Profile(reProg, eff)
+	if err != nil {
+		return nil, err
+	}
 	var out []AdaptiveDecision
 	for _, size := range sizes {
-		def, err := s.Machine.Price(schedule, layout, size)
+		def, err := defProfile.Price(size)
 		if err != nil {
 			return nil, err
 		}
-		re, err := s.priceReordered(schedule, layout, m, order, size)
+		re, err := reProfile.Price(size)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,112 @@
+// Package ring implements the consistent-hash ring mapd replicas use to
+// partition the fingerprint space. Each node contributes a fixed number of
+// virtual points hashed from "name#i" with FNV-1a, so the ring is fully
+// determined by the member names — every replica, given the same peer list,
+// computes the same ring with no coordination. A key's owner is the first
+// point clockwise from the key's hash; removing a node only reassigns the
+// keys its own points covered, which is what keeps warm caches warm through
+// membership churn.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-node point count when New is given a
+// non-positive count. 128 points per node keeps the expected imbalance of a
+// 3-node ring under a few percent.
+const DefaultVirtualNodes = 128
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring. Build with New; rebuilding on
+// membership change is cheap (sort of nodes x vnodes points).
+type Ring struct {
+	points []point
+	nodes  []string
+	vnodes int
+}
+
+// New builds a ring over the given node names with vnodes virtual points
+// each (DefaultVirtualNodes when vnodes <= 0). Duplicate names collapse;
+// order does not matter — the ring is a pure function of the member set.
+func New(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	uniq := make(map[string]bool, len(nodes))
+	members := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" || uniq[n] {
+			continue
+		}
+		uniq[n] = true
+		members = append(members, n)
+	}
+	sort.Strings(members)
+	r := &Ring{nodes: members, vnodes: vnodes}
+	r.points = make([]point, 0, len(members)*vnodes)
+	for _, n := range members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner returns the node owning key: the first virtual point at or after
+// the key's hash, wrapping at the top of the space. Empty rings own
+// nothing and return "".
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the member names, sorted.
+func (r *Ring) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.nodes...)
+}
+
+// Size reports the member count.
+func (r *Ring) Size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.nodes)
+}
+
+// hash64 is FNV-1a finished with a splitmix64-style mixer. Raw FNV of the
+// short "name#i" point labels leaves the low bits correlated, which skews
+// a small ring badly; the finalizer spreads the points uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

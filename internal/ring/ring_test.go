@@ -1,0 +1,86 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return out
+}
+
+func TestDeterministicAcrossReplicas(t *testing.T) {
+	// Two replicas building the ring from differently-ordered peer lists
+	// must agree on every owner — the whole point of coordination-free
+	// sharding.
+	a := New([]string{"alpha", "beta", "gamma"}, 64)
+	b := New([]string{"gamma", "alpha", "beta", "alpha"}, 64)
+	for _, k := range keys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := New([]string{"a", "b", "c"}, 0)
+	counts := map[string]int{}
+	ks := keys(30000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / float64(len(ks))
+		if frac < 0.20 || frac > 0.47 {
+			t.Fatalf("node %s owns %.1f%% of the space; want roughly a third (counts %v)",
+				n, 100*frac, counts)
+		}
+	}
+}
+
+func TestMinimalDisruptionOnChurn(t *testing.T) {
+	before := New([]string{"a", "b", "c"}, 0)
+	after := New([]string{"a", "b"}, 0)
+	moved, total := 0, 0
+	for _, k := range keys(10000) {
+		total++
+		was, is := before.Owner(k), after.Owner(k)
+		if was != is {
+			moved++
+			// Only keys that node c owned may move.
+			if was != "c" {
+				t.Fatalf("key %s moved from surviving node %s to %s", k, was, is)
+			}
+		}
+	}
+	frac := float64(moved) / float64(total)
+	if frac < 0.20 || frac > 0.47 {
+		t.Fatalf("%.1f%% of keys moved on one-of-three departure; want ~1/3", 100*frac)
+	}
+}
+
+func TestDegenerateRings(t *testing.T) {
+	if got := New(nil, 8).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	var nilRing *Ring
+	if got := nilRing.Owner("k"); got != "" {
+		t.Fatalf("nil ring owner = %q", got)
+	}
+	solo := New([]string{"only"}, 8)
+	for _, k := range keys(100) {
+		if solo.Owner(k) != "only" {
+			t.Fatal("single-node ring must own everything")
+		}
+	}
+	if n := solo.Size(); n != 1 {
+		t.Fatalf("Size = %d", n)
+	}
+	if ns := New([]string{"b", "a"}, 1).Nodes(); len(ns) != 2 || ns[0] != "a" {
+		t.Fatalf("Nodes = %v", ns)
+	}
+}

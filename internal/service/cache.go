@@ -9,33 +9,65 @@ import (
 
 // resultCache is a bounded LRU over content-addressed keys. Values are
 // *Response treated as immutable once stored; readers copy the struct
-// before stamping per-request fields.
+// before stamping per-request fields. The cache is double-bounded: by
+// entry count and by approximate heap bytes, so a handful of p=4096
+// responses cannot blow the heap while the entry bound still has hundreds
+// of slots free.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64      // approximate heap bytes of every held entry
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
 
-	evictions *metrics.Counter // may be nil in direct-construction tests
-	size      *metrics.Gauge   // may be nil in direct-construction tests
+	evictions  *metrics.Counter // may be nil in direct-construction tests
+	size       *metrics.Gauge   // may be nil in direct-construction tests
+	bytesGauge *metrics.Gauge   // may be nil in direct-construction tests
 }
 
 type cacheEntry struct {
-	key  string
-	resp *Response
+	key   string
+	resp  *Response
+	bytes int64
 }
 
-func newResultCache(capacity int, evictions *metrics.Counter, size *metrics.Gauge) *resultCache {
+func newResultCache(capacity int, maxBytes int64, evictions *metrics.Counter, size, bytesGauge *metrics.Gauge) *resultCache {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &resultCache{
-		cap:       capacity,
-		order:     list.New(),
-		entries:   make(map[string]*list.Element),
-		evictions: evictions,
-		size:      size,
+	if maxBytes <= 0 {
+		maxBytes = defaultCacheBytes
 	}
+	return &resultCache{
+		cap:        capacity,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		entries:    make(map[string]*list.Element),
+		evictions:  evictions,
+		size:       size,
+		bytesGauge: bytesGauge,
+	}
+}
+
+// defaultCacheBytes bounds the result cache's memory when Config.CacheBytes
+// is unset: 256 MiB, roughly 8000 p=4096 responses.
+const defaultCacheBytes = 256 << 20
+
+// approxResponseBytes estimates a cached response's heap footprint: the
+// mapping dominates at large p, the per-size results and struct overhead
+// cover the rest. Deliberately an estimate — it bounds growth, it does not
+// meter an allocator.
+func approxResponseBytes(r *Response) int64 {
+	b := int64(160) // struct, slice headers, map entry, list element
+	b += int64(len(r.Mapping)) * 8
+	b += int64(len(r.Results)) * 40
+	b += int64(len(r.Heuristic) + len(r.Order) + len(r.Shard))
+	if r.GraphCost != nil {
+		b += 16
+	}
+	b += int64(len(r.Trace)) * 48
+	return b
 }
 
 func (c *resultCache) get(key string) (*Response, bool) {
@@ -50,18 +82,26 @@ func (c *resultCache) get(key string) (*Response, bool) {
 }
 
 func (c *resultCache) put(key string, resp *Response) {
+	cost := approxResponseBytes(resp)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).resp = resp
+		e := el.Value.(*cacheEntry)
+		c.bytes += cost - e.bytes
+		e.resp, e.bytes = resp, cost
 		c.order.MoveToFront(el)
-		return
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp, bytes: cost})
+		c.bytes += cost
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
-	for len(c.entries) > c.cap {
+	// Evict down to both bounds, always keeping the entry just inserted so
+	// an oversized response still serves its own request's followers.
+	for len(c.entries) > 1 && (len(c.entries) > c.cap || c.bytes > c.maxBytes) {
 		oldest := c.order.Back()
+		e := oldest.Value.(*cacheEntry)
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
 		if c.evictions != nil {
 			c.evictions.Inc()
 		}
@@ -69,12 +109,22 @@ func (c *resultCache) put(key string, resp *Response) {
 	if c.size != nil {
 		c.size.Set(int64(len(c.entries)))
 	}
+	if c.bytesGauge != nil {
+		c.bytesGauge.Set(c.bytes)
+	}
 }
 
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// bytesHeld reports the approximate heap bytes currently cached.
+func (c *resultCache) bytesHeld() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // flightGroup deduplicates concurrent computations of the same key

@@ -1,17 +1,29 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/synth"
 )
 
 // Handler exposes the service over HTTP:
 //
-//	POST /map          — body: Request JSON; reply: Response JSON
+//	POST /map          — body: Request JSON, reply Response JSON; or, with a
+//	                     "patterns" array, BatchRequest JSON → BatchResponse
+//	                     JSON (N patterns mapped against one topology build)
+//	GET  /synth/table  — ?topology=<fp>: held synth.Table JSON (404 when
+//	                     absent); without the parameter, the sorted list of
+//	                     held topology fingerprints
+//	PUT  /synth/table  — body: synth.Table JSON, merged into the held table
+//	                     and persisted when a store is configured (POST works
+//	                     too)
 //	GET  /stats        — service counters (Stats JSON)
 //	GET  /metrics      — Prometheus text exposition of the process default
 //	                     registry merged with the service registry
@@ -27,6 +39,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/map", s.handleMap)
+	mux.HandleFunc("/synth/table", s.handleSynthTable)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -39,15 +52,41 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
+// maxMapBody bounds a /map request body; a 1024-pattern batch of explicit
+// graphs fits comfortably.
+const maxMapBody = 64 << 20
+
 func (s *Service) handleMap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxMapBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A "patterns" array selects the batch shape; either way the chosen
+	// shape decodes strictly, so misspelled fields still answer 400.
+	var probe struct {
+		Patterns json.RawMessage `json:"patterns"`
+	}
+	if json.Unmarshal(body, &probe) == nil && probe.Patterns != nil {
+		var breq BatchRequest
+		if err := strictUnmarshal(body, &breq); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := s.ComputeBatch(r.Context(), &breq)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	var req Request
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := strictUnmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -57,6 +96,53 @@ func (s *Service) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Service) handleSynthTable(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		fp := r.URL.Query().Get("topology")
+		if fp == "" {
+			writeJSON(w, http.StatusOK, map[string]any{"topologies": s.SynthTopologies()})
+			return
+		}
+		t, ok := s.SynthTable(fp)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no synth table for topology %q", fp))
+			return
+		}
+		data, err := t.Marshal()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxMapBody))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		t, err := synth.Unmarshal(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.PutSynthTable(t); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "topology": t.Topology, "entries": len(t.Entries)})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET, PUT or POST only"))
+	}
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

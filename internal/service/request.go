@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -20,8 +21,8 @@ import (
 // and the modelled latency of both communicators at each size.
 type Request struct {
 	Topology  TopologySpec `json:"topology"`
-	Procs     int          `json:"procs,omitempty"`     // default: every core of the cluster
-	Layout    string       `json:"layout,omitempty"`    // default: block-bunch
+	Procs     int          `json:"procs,omitempty"`  // default: every core of the cluster
+	Layout    string       `json:"layout,omitempty"` // default: block-bunch
 	Pattern   PatternSpec  `json:"pattern"`
 	Heuristic string       `json:"heuristic,omitempty"` // rdmh|rmh|bbmh|bgmh|bkmh|scotch|auto; default: the pattern's own
 	Order     string       `json:"order,omitempty"`     // initComm|endShfl|none; default: what the pattern needs
@@ -33,6 +34,11 @@ type Request struct {
 	// Trace, when set, attaches a per-request trace recorder and echoes the
 	// phase timeline in the response.
 	Trace bool `json:"trace,omitempty"`
+	// Forwarded marks a request relayed by a peer shard. The receiving
+	// replica serves it locally even when the ring says another node owns
+	// the key, so a request never bounces between replicas. Set by the
+	// forwarding hop, not by clients.
+	Forwarded bool `json:"forwarded,omitempty"`
 }
 
 // TopologySpec selects the modelled cluster: either a named preset or an
@@ -121,6 +127,9 @@ type Response struct {
 	GraphCost     *GraphCost   `json:"graph_cost,omitempty"`
 	ElapsedMicros int64        `json:"elapsed_us"`
 	Trace         []TraceEvent `json:"trace,omitempty"`
+	// Shard names the replica that computed the response, when the service
+	// runs sharded. Follows the response across the forward hop.
+	Shard string `json:"shard,omitempty"`
 }
 
 // Default request parameters.
@@ -129,18 +138,31 @@ var defaultSizes = []int{1024, 65536}
 // compiled is the canonical, validated form of a Request: everything the
 // compute path needs, plus the content-addressed cache key.
 type compiled struct {
-	cluster  *topology.Cluster
-	procs    int
-	layout   []int
-	kind     topology.LayoutKind
-	pattern  core.Pattern // valid when graph == nil
-	graph    *graph.Graph // non-nil for explicit-graph requests
-	selector string       // canonical heuristic selector
-	order    string       // canonical order-mode name
-	sizes    []int        // sorted, deduplicated
-	trace    bool
-	timeout  time.Duration // 0: server default
-	key      string        // hex content hash over everything above
+	cluster   *topology.Cluster
+	procs     int
+	layout    []int
+	kind      topology.LayoutKind
+	pattern   core.Pattern // valid when graph == nil
+	graph     *graph.Graph // non-nil for explicit-graph requests
+	selector  string       // canonical heuristic selector
+	order     string       // canonical order-mode name
+	sizes     []int        // sorted, deduplicated
+	trace     bool
+	forwarded bool          // relayed by a peer shard: serve locally
+	timeout   time.Duration // 0: server default
+	key       string        // hex content hash over everything above
+}
+
+// compiledBase is the topology-dependent prefix of compilation, shared by
+// every pattern of a batch: the materialised cluster, the resolved process
+// count and the layout. Building it once per batch is what amortises the
+// cluster wiring and layout work that dominates cold single requests.
+type compiledBase struct {
+	spec    TopologySpec
+	cluster *topology.Cluster
+	procs   int
+	layout  []int
+	kind    topology.LayoutKind
 }
 
 // buildCluster materialises the topology spec.
@@ -223,31 +245,51 @@ var knownSelectors = map[string]bool{
 // compile validates req and resolves every default, producing the canonical
 // form used by the compute path and the cache key.
 func (s *Service) compile(req *Request) (*compiled, error) {
-	cluster, err := buildCluster(&req.Topology)
+	base, err := s.compileBase(&req.Topology, req.Procs, req.Layout)
 	if err != nil {
 		return nil, err
 	}
-	c := &compiled{cluster: cluster, trace: req.Trace}
+	return s.compileWith(base, req)
+}
 
-	c.procs = req.Procs
-	if c.procs == 0 {
-		c.procs = cluster.TotalCores()
+// compileBase materialises the topology-dependent request prefix: cluster,
+// process count, layout.
+func (s *Service) compileBase(spec *TopologySpec, procs int, layoutName string) (*compiledBase, error) {
+	cluster, err := buildCluster(spec)
+	if err != nil {
+		return nil, err
 	}
-	if c.procs <= 0 || c.procs > cluster.TotalCores() {
-		return nil, fmt.Errorf("service: procs %d outside 1..%d", c.procs, cluster.TotalCores())
+	b := &compiledBase{spec: *spec, cluster: cluster, procs: procs}
+	if b.procs == 0 {
+		b.procs = cluster.TotalCores()
 	}
-
-	layoutName := req.Layout
+	if b.procs <= 0 || b.procs > cluster.TotalCores() {
+		return nil, fmt.Errorf("service: procs %d outside 1..%d", b.procs, cluster.TotalCores())
+	}
 	if layoutName == "" {
 		layoutName = topology.BlockBunch.String()
 	}
-	if c.kind, err = topology.ParseLayoutKind(layoutName); err != nil {
+	if b.kind, err = topology.ParseLayoutKind(layoutName); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	if c.layout, err = topology.Layout(cluster, c.procs, c.kind); err != nil {
+	if b.layout, err = topology.Layout(cluster, b.procs, b.kind); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	return b, nil
+}
 
+// compileWith finishes compilation against a prebuilt topology base. req's
+// topology/procs/layout fields are ignored — the base is authoritative.
+func (s *Service) compileWith(base *compiledBase, req *Request) (*compiled, error) {
+	c := &compiled{
+		cluster:   base.cluster,
+		procs:     base.procs,
+		layout:    base.layout,
+		kind:      base.kind,
+		trace:     req.Trace,
+		forwarded: req.Forwarded,
+	}
+	var err error
 	var patFP uint64
 	switch {
 	case req.Pattern.Graph != nil && req.Pattern.Name != "":
@@ -299,7 +341,7 @@ func (s *Service) compile(req *Request) (*compiled, error) {
 	}
 	c.timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
 
-	c.key = s.cacheKey(c, &req.Topology, patFP)
+	c.key = s.cacheKey(c, &base.spec, patFP)
 	return c, nil
 }
 
@@ -374,6 +416,11 @@ func (s *Service) cacheKey(c *compiled, spec *TopologySpec, patternFP uint64) st
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// topoFPs memoises topology.Cluster.Fingerprint per canonical topology
+// spec, process-wide: the fingerprint is structural, so every service in
+// the process (and every bench iteration) shares one computation.
+var topoFPs sync.Map // canonical topology spec -> uint64 cluster fingerprint
+
 // clusterFingerprint memoises topology.Cluster.Fingerprint per canonical
 // topology spec.
 func (s *Service) clusterFingerprint(spec *TopologySpec, cluster *topology.Cluster) uint64 {
@@ -385,10 +432,10 @@ func (s *Service) clusterFingerprint(spec *TopologySpec, cluster *topology.Clust
 			spec.Network.X, spec.Network.Y, spec.Network.Z)
 	}
 	memoKey := b.String()
-	if fp, ok := s.topoFPs.Load(memoKey); ok {
+	if fp, ok := topoFPs.Load(memoKey); ok {
 		return fp.(uint64)
 	}
 	fp := cluster.Fingerprint()
-	s.topoFPs.Store(memoKey, fp)
+	topoFPs.Store(memoKey, fp)
 	return fp
 }

@@ -26,16 +26,18 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/patterns"
 	"repro/internal/sched"
 	"repro/internal/scotch"
 	"repro/internal/simnet"
+	"repro/internal/store"
+	"repro/internal/synth"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -63,6 +65,21 @@ type Config struct {
 	// ReadyMaxQueue is the pool queue depth at which /readyz starts
 	// shedding (default 2x Workers).
 	ReadyMaxQueue int
+	// CacheBytes bounds the result cache's approximate heap footprint
+	// (default 256 MiB). The entry bound still applies; whichever is hit
+	// first evicts.
+	CacheBytes int64
+	// Store, when set, persists computed responses and synth tables across
+	// restarts. The service owns neither opening nor closing it.
+	Store *store.Store
+	// Shard, when set, makes this replica one shard of a consistent-hash
+	// fleet: misses on keys another replica owns are forwarded there.
+	Shard *ShardConfig
+	// ShedOnPressure turns the /readyz queue-depth threshold into admission
+	// control: once the pool queue reaches ReadyMaxQueue, new computations
+	// answer with the identity mapping (Degraded) instead of queueing. Off
+	// by default — single-process embedders prefer to absorb bursts.
+	ShedOnPressure bool
 }
 
 func (cfg *Config) withDefaults() Config {
@@ -105,7 +122,12 @@ type Service struct {
 	burn     burnTracker
 	stopBurn chan struct{}
 	stopOnce sync.Once
-	topoFPs  sync.Map // canonical topology spec -> uint64 cluster fingerprint
+
+	store *store.Store
+	shard atomic.Pointer[shardState]
+
+	synthMu     sync.Mutex
+	synthTables map[string]*synth.Table // topology fingerprint -> table
 }
 
 // New builds a Service from cfg (zero value: all defaults).
@@ -113,12 +135,19 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	stats := newStatsCollector()
 	s := &Service{
-		cfg:      cfg,
-		pool:     newWorkerPool(cfg.Workers, stats.queueDepth),
-		cache:    newResultCache(cfg.CacheEntries, stats.evictions, stats.cacheEntries),
-		flight:   newFlightGroup(),
-		stats:    stats,
-		stopBurn: make(chan struct{}),
+		cfg:         cfg,
+		pool:        newWorkerPool(cfg.Workers, stats.queueDepth),
+		cache:       newResultCache(cfg.CacheEntries, cfg.CacheBytes, stats.evictions, stats.cacheEntries, stats.cacheBytes),
+		flight:      newFlightGroup(),
+		stats:       stats,
+		stopBurn:    make(chan struct{}),
+		store:       cfg.Store,
+		synthTables: make(map[string]*synth.Table),
+	}
+	s.loadSynthTables()
+	s.refreshStoreGauges()
+	if cfg.Shard != nil {
+		s.setShardState(cfg.Shard.Self, cfg.Shard.Peers, cfg.Shard.VNodes, cfg.Shard.Client)
 	}
 	go s.burnLoop()
 	return s
@@ -136,7 +165,7 @@ func (s *Service) Close() {
 }
 
 // Stats returns a snapshot of the service counters.
-func (s *Service) Stats() Stats { return s.stats.snapshot(s.cache.len()) }
+func (s *Service) Stats() Stats { return s.stats.snapshot(s.cache.len(), s.cache.bytesHeld()) }
 
 // Compute answers one mapping request. The error return is reserved for
 // invalid requests and internal failures; deadline pressure instead yields
@@ -152,7 +181,20 @@ func (s *Service) Compute(ctx context.Context, req *Request) (*Response, error) 
 	if err != nil {
 		return nil, err
 	}
+	resp, err := s.serve(ctx, req, c, nil, start)
+	if err != nil {
+		return nil, err
+	}
+	outcome = outcomeFor(resp)
+	return resp, nil
+}
 
+// serve answers a compiled request: local cache, then persistent store,
+// then single-flight into either a forward to the owning shard or a local
+// computation. envFn, when non-nil, is the batch path's shared (lazily
+// built) topology environment. serve does not touch the request-level
+// counters — callers wrap it in begin/end.
+func (s *Service) serve(ctx context.Context, req *Request, c *compiled, envFn func() (*topoEnv, error), start time.Time) (*Response, error) {
 	timeout := c.timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -177,10 +219,17 @@ func (s *Service) Compute(ctx context.Context, req *Request) (*Response, error) 
 	if resp, ok := s.cache.get(c.key); ok {
 		s.stats.hit()
 		mark("cache-hit")
-		outcome = outcomeOK
 		return stamp(resp, true, start, rec), nil
 	}
 	s.stats.miss()
+
+	if resp, ok := s.storeGet(c.key); ok {
+		// A warm store answers without recomputing: promote into the LRU
+		// and serve as a (persistent) cache hit.
+		mark("store-hit")
+		s.cache.put(c.key, resp)
+		return stamp(resp, true, start, rec), nil
+	}
 
 	call, leader := s.flight.join(c.key)
 	if !leader {
@@ -191,27 +240,57 @@ func (s *Service) Compute(ctx context.Context, req *Request) (*Response, error) 
 			if call.err != nil {
 				return nil, call.err
 			}
-			outcome = outcomeFor(call.resp)
 			return stamp(call.resp, false, start, rec), nil
 		case <-ctx.Done():
 			// The leader is still computing but this caller's budget is
 			// spent: degrade independently, leave the flight in place.
 			mark("deadline-while-waiting")
-			outcome = outcomeDegraded
 			return stamp(degradedResponse(c), false, start, rec), nil
 		}
 	}
 
-	resp, err := s.leaderCompute(ctx, c, mark)
+	resp, computed, err := s.leaderServe(ctx, req, c, envFn, mark)
 	if err == nil && !resp.Degraded {
 		s.cache.put(c.key, resp)
+		if computed {
+			// Only locally computed results persist: the owning shard's
+			// store is the system of record for its keyspace slice.
+			s.storePut(c.key, resp)
+		}
 	}
 	s.flight.complete(c.key, call, resp, err)
 	if err != nil {
 		return nil, err
 	}
-	outcome = outcomeFor(resp)
 	return stamp(resp, false, start, rec), nil
+}
+
+// leaderServe resolves a cache-missed key as the flight leader: forward to
+// the owning shard when the ring says the key lives elsewhere, shed under
+// queue pressure when admission control is on, otherwise compute locally.
+// computed reports whether the response was produced by this replica.
+func (s *Service) leaderServe(ctx context.Context, req *Request, c *compiled, envFn func() (*topoEnv, error), mark func(string)) (resp *Response, computed bool, err error) {
+	if owner, url, remote := s.shardFor(c.key); remote && !c.forwarded {
+		mark("forward:" + owner)
+		resp, err := s.forwardRequest(ctx, url, req)
+		if err != nil {
+			// A dead or overloaded peer must not take this replica's
+			// availability with it: degrade to the identity mapping.
+			mark("forward-failed")
+			return degradedResponse(c), false, nil
+		}
+		return resp, false, nil
+	}
+	if s.cfg.ShedOnPressure && s.stats.queueDepth.Value() >= int64(s.cfg.ReadyMaxQueue) {
+		s.stats.shedded()
+		mark("shed")
+		return degradedResponse(c), false, nil
+	}
+	resp, err = s.leaderCompute(ctx, c, envFn, mark)
+	if err == nil {
+		resp.Shard = s.shardSelf()
+	}
+	return resp, true, err
 }
 
 func outcomeFor(resp *Response) int {
@@ -237,6 +316,21 @@ func stamp(base *Response, cached bool, start time.Time, rec *trace.Recorder) *R
 	return &out
 }
 
+// expired reports whether ctx's budget is spent. It consults the clock as
+// well as ctx.Err(): the now-memoised computes finish in single-digit
+// milliseconds, faster than a loaded single-CPU runtime delivers timer
+// cancellations, so checking only Err() would make tight deadlines
+// nondeterministic.
+func expired(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
 // degradedResponse is the graceful-degradation fallback: the identity
 // mapping keeps the job runnable with the default rank order.
 func degradedResponse(c *compiled) *Response {
@@ -251,7 +345,7 @@ func degradedResponse(c *compiled) *Response {
 // leaderCompute runs the computation on the worker pool. A deadline while
 // queueing (pool saturated) degrades immediately; a deadline inside the
 // computation is detected by the heuristic loops and degrades there.
-func (s *Service) leaderCompute(ctx context.Context, c *compiled, mark func(string)) (*Response, error) {
+func (s *Service) leaderCompute(ctx context.Context, c *compiled, envFn func() (*topoEnv, error), mark func(string)) (*Response, error) {
 	var (
 		resp *Response
 		err  error
@@ -259,7 +353,7 @@ func (s *Service) leaderCompute(ctx context.Context, c *compiled, mark func(stri
 	)
 	if submitErr := s.pool.submit(ctx, func() {
 		defer close(done)
-		resp, err = s.run(ctx, c, mark)
+		resp, err = s.run(ctx, c, envFn, mark)
 	}); submitErr != nil {
 		mark("deadline-in-queue")
 		return degradedResponse(c), nil
@@ -341,27 +435,217 @@ type evaluation struct {
 	err     error
 }
 
-// run performs the actual computation on a pool worker: distances, then
-// every candidate heuristic in parallel, then selection by modelled cost.
-func (s *Service) run(ctx context.Context, c *compiled, mark func(string)) (*Response, error) {
-	s.stats.computed()
+// topoEnv is the per-topology compute environment: the distance oracle the
+// heuristics traverse and the priced machine. Both depend only on
+// (cluster, layout), so one env serves every pattern of a batch and every
+// candidate of a request — building them per candidate was the dominant
+// fixed cost of a cold request.
+//
+// The env also memoises the oracle heuristics' mappings: RDMH and friends
+// read only the distance oracle, never the pattern or the sizes, so within
+// a batch each heuristic traverses the topology once and its mapping is
+// shared by every pattern that selects it. This is the bulk of the batch
+// amortisation on large topologies.
+type topoEnv struct {
+	oracle  topology.Oracle
+	oracleK string // "hierarchy" or "dense", for trace marks
+	machine *simnet.Machine
+
+	heurMaps onceMap[string, core.Mapping]
+
+	decMu sync.Mutex
+	decs  map[decKey]SizeResult
+
+	baseProfs onceMap[core.Pattern, *simnet.PriceProfile]
+	reordered onceMap[progKey, *simnet.PriceProfile]
+}
+
+// onceMap memoises values by key: each key builds at most once, concurrent
+// callers of the same key wait for the builder, and distinct keys build in
+// parallel (a single map mutex would serialise the heavy builds a batch
+// fans out across the pool). A failed build is forgotten, so a later caller
+// with budget left — e.g. a batch item with a looser deadline — retries.
+type onceMap[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*onceSlot[V]
+}
+
+type onceSlot[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+func (om *onceMap[K, V]) do(k K, build func() (V, error)) (V, error) {
+	om.mu.Lock()
+	if om.m == nil {
+		om.m = make(map[K]*onceSlot[V])
+	}
+	s, ok := om.m[k]
+	if !ok {
+		s = &onceSlot[V]{}
+		om.m[k] = s
+	}
+	om.mu.Unlock()
+	s.once.Do(func() { s.val, s.err = build() })
+	if s.err != nil {
+		om.mu.Lock()
+		if om.m[k] == s {
+			delete(om.m, k)
+		}
+		om.mu.Unlock()
+	}
+	return s.val, s.err
+}
+
+// progKey identifies one compiled order-preserved schedule: the base pattern,
+// the order fix and the permutation it bakes in.
+type progKey struct {
+	pattern core.Pattern
+	mode    sched.OrderMode
+	mapFP   uint64
+}
+
+// profilesFor builds the default and the order-preserved pricing profiles
+// for (pattern, mapping, mode) at most once per env. Schedule construction,
+// the compile-cache key hash and the contention aggregation cost
+// milliseconds each at p=4096; a 32-pattern batch revisits the same few
+// schedules dozens of times, so the memo turns the pricing loop into pure
+// envelope evaluations.
+func (e *topoEnv) profilesFor(pat core.Pattern, layout []int, m core.Mapping, mapFP uint64, mode sched.OrderMode) (base, reord *simnet.PriceProfile, err error) {
+	base, err = e.baseProfs.do(pat, func() (*simnet.PriceProfile, error) {
+		schedule, err := sched.ForPattern(pat, len(layout))
+		if err != nil {
+			return nil, err
+		}
+		prog, err := sched.CompileCached(schedule)
+		if err != nil {
+			return nil, err
+		}
+		return e.machine.Profile(prog, layout)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	key := progKey{pattern: pat, mode: mode, mapFP: mapFP}
+	reord, err = e.reordered.do(key, func() (*simnet.PriceProfile, error) {
+		schedule, err := sched.ForPattern(pat, len(layout))
+		if err != nil {
+			return nil, err
+		}
+		eff, err := m.Apply(layout)
+		if err != nil {
+			return nil, err
+		}
+		withOrder, err := sched.WithOrderPreservation(schedule, m, mode)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := sched.CompileCached(withOrder)
+		if err != nil {
+			return nil, err
+		}
+		return e.machine.Profile(prog, eff)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, reord, nil
+}
+
+// decKey identifies one priced adaptive decision within an env: the pattern
+// schedule, the order fix, the message size and the mapping (by content
+// fingerprint). Distinct heuristics frequently converge to the same
+// permutation, and batches repeat (pattern, size) across heuristics — both
+// collapse to one pricing.
+type decKey struct {
+	pattern core.Pattern
+	mode    sched.OrderMode
+	size    int
+	mapFP   uint64
+}
+
+// mappingFingerprint is an FNV-1a over the permutation's bytes.
+func mappingFingerprint(m core.Mapping) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range m {
+		h ^= uint64(uint32(v))
+		h *= prime64
+	}
+	return h
+}
+
+// mappingFor runs fn once per heuristic name against the env's oracle and
+// memoises the successful result. Failures (typically deadline
+// cancellation) are not memoised, so a later item with budget left retries.
+// Callers must not mutate the returned mapping.
+func (e *topoEnv) mappingFor(ctx context.Context, name string, fn func(context.Context, topology.Oracle) (core.Mapping, error)) (core.Mapping, error) {
+	return e.heurMaps.do(name, func() (core.Mapping, error) {
+		return fn(ctx, e.oracle)
+	})
+}
+
+// buildEnv constructs the topology environment for c. The machine is only
+// built for named-pattern requests — explicit graphs are costed on the
+// oracle alone.
+func (s *Service) buildEnv(c *compiled) (*topoEnv, error) {
+	env := &topoEnv{
+		decs: make(map[decKey]SizeResult),
+	}
 	// Prefer the compact hierarchical oracle: O(p) memory and the bucketed
 	// find-closest kernel. Non-hierarchical clusters (tori) fall back to the
 	// dense matrix and the scan kernel.
-	var d topology.Oracle
 	if h, herr := topology.NewHierarchy(c.cluster, c.layout); herr == nil {
-		d = h
-		mark("oracle:hierarchy")
+		env.oracle, env.oracleK = h, "hierarchy"
 	} else {
 		dense, err := topology.NewDistances(c.cluster, c.layout)
 		if err != nil {
 			return nil, err
 		}
-		d = dense
-		mark("oracle:dense")
+		env.oracle, env.oracleK = dense, "dense"
 	}
+	if c.graph == nil {
+		params := simnet.DefaultParams()
+		if s.cfg.Params != nil {
+			params = *s.cfg.Params
+		}
+		machine, err := simnet.NewMachine(c.cluster, params)
+		if err != nil {
+			return nil, err
+		}
+		env.machine = machine
+	}
+	return env, nil
+}
+
+// run performs the actual computation on a pool worker: distances, then
+// every candidate heuristic in parallel, then selection by modelled cost.
+// envFn may be nil (single-request path) — the environment is built here;
+// the batch path passes a shared lazy provider.
+func (s *Service) run(ctx context.Context, c *compiled, envFn func() (*topoEnv, error), mark func(string)) (*Response, error) {
+	s.stats.computed()
+	var env *topoEnv
+	if envFn != nil {
+		shared, err := envFn()
+		if err != nil {
+			return nil, err
+		}
+		env = shared
+	}
+	if env == nil || (c.graph == nil && env.machine == nil) {
+		built, err := s.buildEnv(c)
+		if err != nil {
+			return nil, err
+		}
+		env = built
+	}
+	mark("oracle:" + env.oracleK)
 	mark("distances")
-	if ctx.Err() != nil {
+	if expired(ctx) != nil {
 		return degradedResponse(c), nil
 	}
 
@@ -375,7 +659,7 @@ func (s *Service) run(ctx context.Context, c *compiled, mark func(string)) (*Res
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			evals[i] = s.evaluate(ctx, c, d, cands[i])
+			evals[i] = s.evaluate(ctx, c, env, cands[i])
 			mark("evaluated:" + cands[i].name)
 		}(i)
 	}
@@ -414,10 +698,20 @@ func (s *Service) run(ctx context.Context, c *compiled, mark func(string)) (*Res
 
 // evaluate computes one candidate's mapping and its modelled cost: the
 // summed reordered latency across the size sweep for named patterns, the
-// weighted-distance objective for explicit graphs.
-func (s *Service) evaluate(ctx context.Context, c *compiled, d topology.Oracle, cand candidate) evaluation {
+// weighted-distance objective for explicit graphs. The oracle and machine
+// come from the shared topology environment — simnet.Machine is
+// concurrency-safe, so every candidate (and every batch pattern) prices on
+// the same instance and shares its warm route caches.
+func (s *Service) evaluate(ctx context.Context, c *compiled, env *topoEnv, cand candidate) evaluation {
+	d := env.oracle
 	ev := evaluation{name: cand.name}
-	ev.mapping, ev.err = cand.fn(ctx, d)
+	if contextHeuristics[cand.name] != nil {
+		// Oracle heuristics depend only on the topology: memoise per env.
+		// Scotch reads the pattern graph, so it always runs.
+		ev.mapping, ev.err = env.mappingFor(ctx, cand.name, cand.fn)
+	} else {
+		ev.mapping, ev.err = cand.fn(ctx, d)
+	}
 	if ev.err != nil {
 		return ev
 	}
@@ -431,44 +725,62 @@ func (s *Service) evaluate(ctx context.Context, c *compiled, d topology.Oracle, 
 		return ev
 	}
 
-	params := simnet.DefaultParams()
-	if s.cfg.Params != nil {
-		params = *s.cfg.Params
-	}
-	machine, err := simnet.NewMachine(c.cluster, params)
-	if err != nil {
-		ev.err = err
-		return ev
-	}
-	setup, err := experiments.NewSetupWithMachine(machine, c.procs, c.sizes)
-	if err != nil {
-		ev.err = err
-		return ev
-	}
 	mode, err := orderModeOf(c.order)
 	if err != nil {
 		ev.err = err
 		return ev
 	}
-	// One size per AdaptivePolicy call keeps a cancellation point between
-	// sizes, so pricing also respects the deadline at size granularity.
+	mapFP := mappingFingerprint(ev.mapping)
+	// Pricing one size at a time keeps a cancellation point between sizes,
+	// so the loop also respects the deadline at size granularity. Decisions
+	// memoise on the env keyed by (pattern, order, size, mapping): within a
+	// batch, candidates that converge to the same permutation — and repeat
+	// patterns across heuristics — price once. This mirrors
+	// experiments.AdaptivePolicy exactly (default price on the base
+	// schedule, reordered price on the order-preserved schedule over the
+	// permuted layout, keep the reordering where it wins), with the schedule
+	// build, compile and contention aggregation amortised across the env by
+	// profilesFor.
+	var base, reord *simnet.PriceProfile
 	for _, size := range c.sizes {
-		if err := ctx.Err(); err != nil {
+		if err := expired(ctx); err != nil {
 			ev.err = err
 			return ev
 		}
-		dec, err := experiments.AdaptivePolicy(setup, c.layout, ev.mapping, c.pattern, mode, []int{size})
-		if err != nil {
-			ev.err = err
-			return ev
+		key := decKey{pattern: c.pattern, mode: mode, size: size, mapFP: mapFP}
+		env.decMu.Lock()
+		res, ok := env.decs[key]
+		env.decMu.Unlock()
+		if !ok {
+			if base == nil {
+				base, reord, err = env.profilesFor(c.pattern, c.layout, ev.mapping, mapFP, mode)
+				if err != nil {
+					ev.err = err
+					return ev
+				}
+			}
+			def, err := base.Price(size)
+			if err != nil {
+				ev.err = err
+				return ev
+			}
+			re, err := reord.Price(size)
+			if err != nil {
+				ev.err = err
+				return ev
+			}
+			res = SizeResult{
+				Bytes:            size,
+				DefaultSeconds:   def,
+				ReorderedSeconds: re,
+				UseReordered:     re < def,
+			}
+			env.decMu.Lock()
+			env.decs[key] = res
+			env.decMu.Unlock()
 		}
-		ev.results = append(ev.results, SizeResult{
-			Bytes:            dec[0].Bytes,
-			DefaultSeconds:   dec[0].Default,
-			ReorderedSeconds: dec[0].Reordered,
-			UseReordered:     dec[0].UseReordered,
-		})
-		ev.cost += dec[0].Reordered
+		ev.results = append(ev.results, res)
+		ev.cost += res.ReorderedSeconds
 	}
 	return ev
 }

@@ -107,8 +107,8 @@ func TestCacheKeyCanonical(t *testing.T) {
 	variants := []*Request{
 		{Topology: smallTopo(), Pattern: PatternSpec{Name: "ring"}, Sizes: []int{1024, 65536}},
 		{Topology: smallTopo(), Pattern: PatternSpec{Name: "ring"}, Sizes: []int{1024, 1024, 65536}},
-		{Topology: smallTopo(), Pattern: PatternSpec{Name: "ring"}},                     // defaults are the same sweep
-		{Topology: smallTopo(), Pattern: PatternSpec{Name: "ring"}, Heuristic: "rmh"},   // explicit default selector
+		{Topology: smallTopo(), Pattern: PatternSpec{Name: "ring"}},                   // defaults are the same sweep
+		{Topology: smallTopo(), Pattern: PatternSpec{Name: "ring"}, Heuristic: "rmh"}, // explicit default selector
 		{Topology: smallTopo(), Pattern: PatternSpec{Name: "ring"}, Layout: "block-bunch"},
 	}
 	for i, v := range variants {

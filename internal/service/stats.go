@@ -30,6 +30,24 @@ type statsCollector struct {
 	burnRates    *metrics.GaugeVec
 	burnFast     *metrics.Gauge
 	burnSlow     *metrics.Gauge
+
+	cacheBytes     *metrics.Gauge
+	storeHits      *metrics.Counter
+	storeMisses    *metrics.Counter
+	storeAppends   *metrics.Counter
+	storeRecords   *metrics.Gauge
+	storeBytes     *metrics.Gauge
+	storeLiveBytes *metrics.Gauge
+	storeCompacts  *metrics.Gauge
+	synthTables    *metrics.Gauge
+	batches        *metrics.Counter
+	batchPatterns  *metrics.Counter
+	batchSize      *metrics.Histogram
+	forwardsVec    *metrics.CounterVec
+	forwardsOK     *metrics.Counter
+	forwardsErr    *metrics.Counter
+	forwardSecs    *metrics.Histogram
+	shed           *metrics.Counter
 }
 
 // newStatsCollector builds the instrument set on its own registry.
@@ -67,6 +85,38 @@ func newStatsCollector() *statsCollector {
 		"window")
 	s.burnFast = s.burnRates.With("window", "fast")
 	s.burnSlow = s.burnRates.With("window", "slow")
+	s.cacheBytes = reg.Gauge("mapd_cache_bytes",
+		"Approximate heap bytes held by the result cache.")
+	s.storeHits = reg.Counter("mapd_store_hits_total",
+		"Cache misses answered from the persistent store.")
+	s.storeMisses = reg.Counter("mapd_store_misses_total",
+		"Cache misses that also missed the persistent store.")
+	s.storeAppends = reg.Counter("mapd_store_appends_total",
+		"Responses appended to the persistent store.")
+	s.storeRecords = reg.Gauge("mapd_store_records",
+		"Live records in the persistent store.")
+	s.storeBytes = reg.Gauge("mapd_store_bytes",
+		"Persistent store log size on disk, including dead records.")
+	s.storeLiveBytes = reg.Gauge("mapd_store_live_bytes",
+		"Bytes of live records in the persistent store.")
+	s.storeCompacts = reg.Gauge("mapd_store_compactions_total",
+		"Log compactions performed by this process's store handle.")
+	s.synthTables = reg.Gauge("mapd_synth_tables",
+		"Synthesized-schedule tables held, one per topology fingerprint.")
+	s.batches = reg.Counter("mapd_batches_total",
+		"Batch mapping requests received.")
+	s.batchPatterns = reg.Counter("mapd_batch_patterns_total",
+		"Patterns received inside batch requests.")
+	s.batchSize = reg.Histogram("mapd_batch_size",
+		"Patterns per batch request.", metrics.HistogramOpts{Start: 1, Factor: 2, Count: 12})
+	s.forwardsVec = reg.CounterVec("mapd_forwards_total",
+		"Requests forwarded to the owning shard, by outcome.", "outcome")
+	s.forwardsOK = s.forwardsVec.With("outcome", "ok")
+	s.forwardsErr = s.forwardsVec.With("outcome", "error")
+	s.forwardSecs = reg.Histogram("mapd_forward_seconds",
+		"Latency of shard-forwarded requests.", metrics.DurationOpts)
+	s.shed = reg.Counter("mapd_shed_total",
+		"Requests answered with the identity mapping by admission control.")
 	return s
 }
 
@@ -86,6 +136,13 @@ type Stats struct {
 	Computes     uint64  `json:"computes"`      // actual mapping computations performed
 	CacheEntries int     `json:"cache_entries"`
 	HitRatio     float64 `json:"cache_hit_ratio"` // (hits + shared) / requests
+
+	CacheBytes  int64  `json:"cache_bytes"`
+	StoreHits   uint64 `json:"store_hits"`
+	StoreMisses uint64 `json:"store_misses"`
+	Batches     uint64 `json:"batches"`
+	Forwards    uint64 `json:"forwards"`
+	Shed        uint64 `json:"shed"`
 
 	P50Micros int64 `json:"p50_us"`
 	P99Micros int64 `json:"p99_us"`
@@ -120,12 +177,28 @@ func (s *statsCollector) hit()      { s.cacheHits.Inc() }
 func (s *statsCollector) miss()     { s.cacheMisses.Inc() }
 func (s *statsCollector) shared()   { s.flightShared.Inc() }
 func (s *statsCollector) computed() { s.computes.Inc() }
+func (s *statsCollector) shedded()  { s.shed.Inc() }
+
+func (s *statsCollector) batch(patterns int) {
+	s.batches.Inc()
+	s.batchPatterns.Add(uint64(patterns))
+	s.batchSize.Observe(float64(patterns))
+}
+
+func (s *statsCollector) forwarded(start time.Time, err error) {
+	if err != nil {
+		s.forwardsErr.Inc()
+	} else {
+		s.forwardsOK.Inc()
+	}
+	s.forwardSecs.Observe(time.Since(start).Seconds())
+}
 
 // snapshot assembles the exported view from the registry instruments. The
 // percentiles interpolate within the latency histogram's exponential buckets
 // instead of sorting a sample window, so snapshots are O(buckets) and the
 // request path stays allocation-free.
-func (s *statsCollector) snapshot(cacheEntries int) Stats {
+func (s *statsCollector) snapshot(cacheEntries int, cacheBytes int64) Stats {
 	out := Stats{
 		Requests:     s.requests.Value(),
 		OK:           s.ok.Value(),
@@ -137,6 +210,12 @@ func (s *statsCollector) snapshot(cacheEntries int) Stats {
 		FlightShared: s.flightShared.Value(),
 		Computes:     s.computes.Value(),
 		CacheEntries: cacheEntries,
+		CacheBytes:   cacheBytes,
+		StoreHits:    s.storeHits.Value(),
+		StoreMisses:  s.storeMisses.Value(),
+		Batches:      s.batches.Value(),
+		Forwards:     s.forwardsOK.Value() + s.forwardsErr.Value(),
+		Shed:         s.shed.Value(),
 	}
 	if out.Requests > 0 {
 		out.HitRatio = float64(out.CacheHits+out.FlightShared) / float64(out.Requests)

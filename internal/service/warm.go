@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// warmPresets are the topologies `mapd -warm <preset>` precomputes: every
+// named pattern under its own fine-tuned heuristic plus the "auto" race,
+// at the default size sweep. "all" runs every preset.
+var warmPresets = map[string]TopologySpec{
+	"gpc":          {Preset: "gpc"},
+	"fattree-64":   {Nodes: 8, SocketsPerNode: 2, CoresPerSocket: 4, Network: &NetworkSpec{Kind: "fattree", Leaves: 2, NodesPerLeaf: 4, Uplinks: 2}},
+	"fattree-1024": {Nodes: 128, SocketsPerNode: 2, CoresPerSocket: 4, Network: &NetworkSpec{Kind: "fattree", Leaves: 8, NodesPerLeaf: 16, Uplinks: 4}},
+	"torus-64":     {Nodes: 16, SocketsPerNode: 2, CoresPerSocket: 2, Network: &NetworkSpec{Kind: "torus", X: 4, Y: 2, Z: 2}},
+}
+
+// warmPatterns are the pattern/heuristic pairs of the warm set.
+var warmPatterns = []struct{ pattern, heuristic string }{
+	{"ring", "rmh"},
+	{"recursive-doubling", "rdmh"},
+	{"binomial-broadcast", "bbmh"},
+	{"binomial-gather", "bgmh"},
+	{"ring", "auto"},
+}
+
+// WarmPresets lists the accepted preset names, sorted, plus "all".
+func WarmPresets() []string {
+	out := make([]string, 0, len(warmPresets)+1)
+	for name := range warmPresets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return append(out, "all")
+}
+
+// Warm computes the preset's warm set through the normal request path, so
+// every result lands in the persistent store (when configured) and the
+// cache. It returns the number of requests served. Use with `mapd -warm`:
+// open the store, warm, exit; the next serving process answers the warm set
+// from disk without recomputing.
+func (s *Service) Warm(ctx context.Context, preset string) (int, error) {
+	var names []string
+	if preset == "all" {
+		for name := range warmPresets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		if _, ok := warmPresets[preset]; !ok {
+			return 0, fmt.Errorf("service: unknown warm preset %q (have %v)", preset, WarmPresets())
+		}
+		names = []string{preset}
+	}
+	served := 0
+	for _, name := range names {
+		spec := warmPresets[name]
+		for _, wp := range warmPatterns {
+			req := &Request{
+				Topology:  spec,
+				Pattern:   PatternSpec{Name: wp.pattern},
+				Heuristic: wp.heuristic,
+			}
+			resp, err := s.Compute(ctx, req)
+			if err != nil {
+				return served, fmt.Errorf("warm %s/%s/%s: %w", name, wp.pattern, wp.heuristic, err)
+			}
+			if resp.Degraded {
+				return served, fmt.Errorf("warm %s/%s/%s: degraded (deadline too tight to warm)", name, wp.pattern, wp.heuristic)
+			}
+			served++
+		}
+	}
+	return served, nil
+}

@@ -1,0 +1,108 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// TestProfilePriceEquivalence pins PriceProfile.Price bit-identical (plain
+// float equality, no tolerance) to PriceProgram across network classes,
+// algorithms, layouts and a size sweep. The Pareto pruning of envelope lines
+// must never change which transfer wins a stage's max at any size.
+func TestProfilePriceEquivalence(t *testing.T) {
+	layouts := []topology.LayoutKind{topology.BlockBunch, topology.BlockScatter, topology.CyclicBunch}
+	for mname, m := range equivMachines(t) {
+		p := m.Cluster.TotalCores() / 2
+		if p > 512 {
+			p = 512
+		}
+		for pname, prog := range equivPrograms(t, p) {
+			for _, kind := range layouts {
+				layout := topology.MustLayout(m.Cluster, p, kind)
+				pp, err := m.Profile(prog, layout)
+				if err != nil {
+					t.Fatalf("%s/%s/%v: profile: %v", mname, pname, kind, err)
+				}
+				for _, blockBytes := range []int{1, 64, 4096, 64 * 1024, 1 << 20} {
+					name := fmt.Sprintf("%s/%s/%v/%dB", mname, pname, kind, blockBytes)
+					got, err := pp.Price(blockBytes)
+					if err != nil {
+						t.Fatalf("%s: profile price: %v", name, err)
+					}
+					want, err := m.PriceProgram(prog, layout, blockBytes)
+					if err != nil {
+						t.Fatalf("%s: price program: %v", name, err)
+					}
+					if got != want {
+						t.Errorf("%s: profile price %.17g differs from PriceProgram %.17g", name, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProfilePostCopy checks the local shuffle epilogue carries over.
+func TestProfilePostCopy(t *testing.T) {
+	m := gpcMachine(t)
+	const p = 64
+	s, err := sched.Bruck(p) // Bruck ends with a local rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sched.CompileCached(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.PostCopyBlocks == 0 {
+		t.Fatal("expected Bruck to compile with a post-copy epilogue")
+	}
+	layout := topology.MustLayout(m.Cluster, p, topology.BlockBunch)
+	pp, err := m.Profile(prog, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{128, 8192} {
+		got, err := pp.Price(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.PriceProgram(prog, layout, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("size %d: profile %.17g != price %.17g", size, got, want)
+		}
+	}
+}
+
+// TestProfileErrors mirrors PriceProgram's validation.
+func TestProfileErrors(t *testing.T) {
+	m := gpcMachine(t)
+	s, err := sched.Ring(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sched.CompileCached(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Profile(prog, make([]int, 4)); err == nil {
+		t.Error("short layout accepted")
+	}
+	layout := topology.MustLayout(m.Cluster, 16, topology.BlockBunch)
+	pp, err := m.Profile(prog, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.Price(0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := pp.Price(-1); err == nil {
+		t.Error("negative block size accepted")
+	}
+}

@@ -192,6 +192,25 @@ func (m *Machine) priceStage(sc *priceScratch, transfers []sched.Transfer, layou
 	if len(transfers) == 0 {
 		return 0, nil
 	}
+	m.aggregateStage(sc, transfers, layout)
+
+	worst := 0.0
+	for i := range transfers {
+		t, err := m.transferTimeSparse(sc, &transfers[i], layout, blockBytes)
+		if err != nil {
+			return 0, err
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// aggregateStage opens a fresh epoch and accumulates every shared resource's
+// load for the stage's transfer list — the size-independent first pass of
+// priceStage, shared with Machine.Profile.
+func (m *Machine) aggregateStage(sc *priceScratch, transfers []sched.Transfer, layout []int) {
 	sc.beginStage()
 	ep := sc.epoch
 	c := m.Cluster
@@ -224,28 +243,28 @@ func (m *Machine) priceStage(sc *priceScratch, transfers []sched.Transfer, layou
 			sc.sockMem.inc(c.SocketOf(src), ep)
 		}
 	}
-
-	worst := 0.0
-	for i := range transfers {
-		t, err := m.transferTimeSparse(sc, &transfers[i], layout, blockBytes)
-		if err != nil {
-			return 0, err
-		}
-		if t > worst {
-			worst = t
-		}
-	}
-	return worst, nil
 }
 
 // transferTimeSparse prices one transfer under the stage's aggregated loads.
 // It performs the same floating-point operations as transferTimeDense, in
 // the same order, reading the epoch-stamped counters instead of maps.
 func (m *Machine) transferTimeSparse(sc *priceScratch, tr *sched.Transfer, layout []int, blockBytes int) (float64, error) {
+	alpha, maxInv, err := m.transferLineSparse(sc, tr, layout)
+	if err != nil {
+		return 0, err
+	}
+	bytes := float64(tr.N) * float64(blockBytes)
+	return alpha + bytes*maxInv, nil
+}
+
+// transferLineSparse computes the size-independent cost line of one transfer
+// under the stage's aggregated loads: its channel latency alpha and the worst
+// effective seconds-per-byte maxInv across the resources it crosses. The
+// transfer's time at block size b is alpha + (N*b)*maxInv.
+func (m *Machine) transferLineSparse(sc *priceScratch, tr *sched.Transfer, layout []int) (float64, float64, error) {
 	p := &m.Params
 	ep := sc.epoch
 	src, dst := layout[tr.Src], layout[tr.Dst]
-	bytes := float64(tr.N) * float64(blockBytes)
 	endpoint := sc.coreSend.get(src, ep)
 	if r := sc.coreRecv.get(dst, ep); r > endpoint {
 		endpoint = r
@@ -291,7 +310,7 @@ func (m *Machine) transferTimeSparse(sc *priceScratch, tr *sched.Transfer, layou
 			maxInv = inv
 		}
 	case src == dst:
-		return 0, fmt.Errorf("simnet: transfer between rank %d and %d lands on one core", tr.Src, tr.Dst)
+		return 0, 0, fmt.Errorf("simnet: transfer between rank %d and %d lands on one core", tr.Src, tr.Dst)
 	default:
 		alpha = p.AlphaShm
 		streamBeta = 1 / p.StreamShm
@@ -302,5 +321,5 @@ func (m *Machine) transferTimeSparse(sc *priceScratch, tr *sched.Transfer, layou
 	if inv := streamBeta * float64(endpoint); inv > maxInv {
 		maxInv = inv
 	}
-	return alpha + bytes*maxInv, nil
+	return alpha, maxInv, nil
 }

@@ -1,0 +1,381 @@
+// Package store implements the persistent content-addressed artifact store
+// behind mapd's in-memory result cache. The on-disk format is a single
+// append-only log:
+//
+//	magic   8 bytes  "mapdst01" (format + version)
+//	record  u32 keyLen | u32 valLen | key | val | u32 CRC-32 (IEEE)
+//
+// The CRC covers the two length words plus key and value, so a torn tail —
+// the process died mid-append — is detected on open and truncated away
+// rather than poisoning the index. Overwrites append a fresh record; the
+// latest record for a key wins on replay. When the dead (overwritten) bytes
+// outgrow the live set, Open compacts: live records are rewritten to a
+// temporary file in sorted key order and renamed over the log, so the file
+// stays proportional to the live set across restarts.
+//
+// Reads are served straight off the file with ReadAt under an RLock, so
+// concurrent Gets never serialise behind a writer. Values are verified
+// against their stored CRC on every read; a corrupt record reads as a miss.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// magic identifies the log format and its version. Bump the trailing digits
+// on incompatible changes; Open refuses files with a different magic.
+const magic = "mapdst01"
+
+const (
+	headerLen = 8 // keyLen + valLen
+	crcLen    = 4 // trailing CRC-32
+	maxKeyLen = 1 << 16
+	maxValLen = 1 << 28
+)
+
+// compactionSlack is the minimum dead-byte volume before Open rewrites the
+// log: tiny logs are never worth a rewrite.
+const compactionSlack = 64 << 10
+
+// ref locates one live value inside the log.
+type ref struct {
+	valOff int64 // offset of the value bytes
+	valLen int32
+	crc    uint32 // record CRC (lengths + key + value)
+	keyLen int32  // for dead-byte accounting on overwrite
+}
+
+func (r ref) recordBytes() int64 {
+	return headerLen + int64(r.keyLen) + int64(r.valLen) + crcLen
+}
+
+// Stats is a point-in-time snapshot of the store, for gauges and tests.
+type Stats struct {
+	Records     int    // live keys
+	LiveBytes   int64  // bytes occupied by the latest record of every key
+	FileBytes   int64  // current log size, including dead records
+	Compactions uint64 // log rewrites performed by this handle's Opens
+}
+
+// Store is a persistent key-value log. Create with Open, share freely
+// across goroutines, Close when done.
+type Store struct {
+	mu          sync.RWMutex
+	f           *os.File
+	path        string
+	index       map[string]ref
+	size        int64 // append offset == file size
+	liveBytes   int64
+	compactions uint64
+}
+
+// Open opens (or creates) the log at path, replays it into the in-memory
+// index, truncates any torn tail and compacts when dead bytes dominate.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	dead := s.size - int64(len(magic)) - s.liveBytes
+	if dead > s.liveBytes && dead > compactionSlack {
+		if err := s.compact(); err != nil {
+			s.f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) open() error {
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if fi.Size() == 0 {
+		if _, err := f.Write([]byte(magic)); err != nil {
+			f.Close()
+			return err
+		}
+		s.f, s.size, s.index = f, int64(len(magic)), make(map[string]ref)
+		return nil
+	}
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, hdr); err != nil || string(hdr) != magic {
+		f.Close()
+		return fmt.Errorf("store: %s is not a mapd store (bad magic)", s.path)
+	}
+	index := make(map[string]ref)
+	var liveBytes int64
+	off := int64(len(magic))
+	buf := make([]byte, 0, 4096)
+	for off < fi.Size() {
+		rec, key, ok := readRecord(f, off, fi.Size(), &buf)
+		if !ok {
+			// Torn or corrupt tail: everything from here on is unreachable.
+			// Truncate so the next append starts on a clean boundary.
+			if err := f.Truncate(off); err != nil {
+				f.Close()
+				return err
+			}
+			break
+		}
+		if old, dup := index[key]; dup {
+			liveBytes -= old.recordBytes()
+		}
+		index[key] = rec
+		liveBytes += rec.recordBytes()
+		off += rec.recordBytes()
+	}
+	if off > fi.Size() {
+		off = fi.Size()
+	}
+	s.f, s.size, s.index, s.liveBytes = f, off, index, liveBytes
+	return nil
+}
+
+// readRecord parses the record at off, returning ok=false on any torn or
+// corrupt framing.
+func readRecord(f *os.File, off, fileSize int64, scratch *[]byte) (ref, string, bool) {
+	var hdr [headerLen]byte
+	if off+headerLen > fileSize {
+		return ref{}, "", false
+	}
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return ref{}, "", false
+	}
+	keyLen := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	valLen := int64(binary.LittleEndian.Uint32(hdr[4:8]))
+	if keyLen == 0 || keyLen > maxKeyLen || valLen > maxValLen {
+		return ref{}, "", false
+	}
+	total := headerLen + keyLen + valLen + crcLen
+	if off+total > fileSize {
+		return ref{}, "", false
+	}
+	if int64(cap(*scratch)) < total {
+		*scratch = make([]byte, total)
+	}
+	b := (*scratch)[:total]
+	if _, err := f.ReadAt(b, off); err != nil {
+		return ref{}, "", false
+	}
+	stored := binary.LittleEndian.Uint32(b[total-crcLen:])
+	if crc32.ChecksumIEEE(b[:total-crcLen]) != stored {
+		return ref{}, "", false
+	}
+	key := string(b[headerLen : headerLen+keyLen])
+	return ref{
+		valOff: off + headerLen + keyLen,
+		valLen: int32(valLen),
+		crc:    stored,
+		keyLen: int32(keyLen),
+	}, key, true
+}
+
+// Get returns the latest value stored for key. The returned slice is a
+// private copy.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	// Re-frame the whole record to verify the CRC: a disk-level flip turns
+	// into a miss, never into silently wrong bytes.
+	buf := make([]byte, r.recordBytes())
+	if _, err := s.f.ReadAt(buf, r.valOff-headerLen-int64(r.keyLen)); err != nil {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(buf[:len(buf)-crcLen]) != r.crc {
+		return nil, false
+	}
+	val := make([]byte, r.valLen)
+	copy(val, buf[headerLen+int64(r.keyLen):])
+	return val, true
+}
+
+// Put appends a record for key, superseding any previous value.
+func (s *Store) Put(key string, val []byte) error {
+	if key == "" || len(key) > maxKeyLen {
+		return fmt.Errorf("store: key length %d outside 1..%d", len(key), maxKeyLen)
+	}
+	if len(val) > maxValLen {
+		return fmt.Errorf("store: value of %d bytes exceeds %d", len(val), maxValLen)
+	}
+	rec := encodeRecord(key, val)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		return err
+	}
+	if old, dup := s.index[key]; dup {
+		s.liveBytes -= old.recordBytes()
+	}
+	r := ref{
+		valOff: s.size + headerLen + int64(len(key)),
+		valLen: int32(len(val)),
+		crc:    binary.LittleEndian.Uint32(rec[len(rec)-crcLen:]),
+		keyLen: int32(len(key)),
+	}
+	s.index[key] = r
+	s.liveBytes += r.recordBytes()
+	s.size += int64(len(rec))
+	return nil
+}
+
+func encodeRecord(key string, val []byte) []byte {
+	total := headerLen + len(key) + len(val) + crcLen
+	b := make([]byte, total)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(len(val)))
+	copy(b[headerLen:], key)
+	copy(b[headerLen+len(key):], val)
+	crc := crc32.ChecksumIEEE(b[:total-crcLen])
+	binary.LittleEndian.PutUint32(b[total-crcLen:], crc)
+	return b
+}
+
+// Keys returns the live keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Records:     len(s.index),
+		LiveBytes:   s.liveBytes,
+		FileBytes:   s.size,
+		Compactions: s.compactions,
+	}
+}
+
+// Sync flushes buffered appends to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and closes the log. Further Puts fail; Gets miss.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	s.index = map[string]ref{}
+	return err
+}
+
+// compact rewrites the log with only the live records, in sorted key order
+// for deterministic output, then atomically renames it into place. Caller
+// holds no locks (only called from Open, before the store is shared).
+func (s *Store) compact() error {
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), filepath.Base(s.path)+".compact-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath) // no-op after a successful rename
+	if _, err := tmp.Write([]byte(magic)); err != nil {
+		tmp.Close()
+		return err
+	}
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	newIndex := make(map[string]ref, len(keys))
+	off := int64(len(magic))
+	var live int64
+	for _, k := range keys {
+		val, ok := s.getLocked(k)
+		if !ok {
+			continue // corrupt record: drop it
+		}
+		rec := encodeRecord(k, val)
+		if _, err := tmp.Write(rec); err != nil {
+			tmp.Close()
+			return err
+		}
+		r := ref{
+			valOff: off + headerLen + int64(len(k)),
+			valLen: int32(len(val)),
+			crc:    binary.LittleEndian.Uint32(rec[len(rec)-crcLen:]),
+			keyLen: int32(len(k)),
+		}
+		newIndex[k] = r
+		live += r.recordBytes()
+		off += int64(len(rec))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return err
+	}
+	old := s.f
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	old.Close()
+	s.f, s.index, s.size, s.liveBytes = f, newIndex, off, live
+	s.compactions++
+	return nil
+}
+
+// getLocked reads a value without taking the lock (Open/compact path).
+func (s *Store) getLocked(key string) ([]byte, bool) {
+	r, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	val := make([]byte, r.valLen)
+	if _, err := s.f.ReadAt(val, r.valOff); err != nil {
+		return nil, false
+	}
+	return val, true
+}

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, path string) *Store {
+	t.Helper()
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRoundTripAndRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapd.store")
+	s := openT(t, path)
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	if err := s.Put("m/abc", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("synth/0001", []byte(`{"topology":"0001"}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("m/abc")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get(m/abc) = %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.Records != 2 || st.LiveBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.Close()
+
+	re := openT(t, path)
+	got, ok = re.Get("m/abc")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("after restart Get(m/abc) = %q, %v", got, ok)
+	}
+	if keys := re.Keys("synth/"); len(keys) != 1 || keys[0] != "synth/0001" {
+		t.Fatalf("Keys(synth/) = %v", keys)
+	}
+}
+
+func TestOverwriteLatestWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapd.store")
+	s := openT(t, path)
+	for i := 0; i < 5; i++ {
+		if err := s.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := s.Get("k"); string(got) != "v4" {
+		t.Fatalf("Get(k) = %q, want v4", got)
+	}
+	if st := s.Stats(); st.Records != 1 || st.FileBytes <= st.LiveBytes {
+		t.Fatalf("expected dead bytes after overwrites: %+v", st)
+	}
+	s.Close()
+	re := openT(t, path)
+	if got, _ := re.Get("k"); string(got) != "v4" {
+		t.Fatalf("after restart Get(k) = %q, want v4", got)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapd.store")
+	s := openT(t, path)
+	if err := s.Put("intact", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: garbage half-record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 12, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := openT(t, path)
+	if got, ok := re.Get("intact"); !ok || string(got) != "payload" {
+		t.Fatalf("after torn tail Get(intact) = %q, %v", got, ok)
+	}
+	// The tail was truncated, so a fresh append lands on a clean boundary
+	// and survives the next open.
+	if err := re.Put("after", []byte("crash")); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	again := openT(t, path)
+	if got, ok := again.Get("after"); !ok || string(got) != "crash" {
+		t.Fatalf("append after truncation lost: %q, %v", got, ok)
+	}
+}
+
+func TestCorruptValueReadsAsMiss(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapd.store")
+	s := openT(t, path)
+	if err := s.Put("k", bytes.Repeat([]byte("x"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the stored value behind the index's back.
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("Y"), int64(len(magic))+headerLen+1+10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("corrupt record served as a hit")
+	}
+}
+
+func TestCompactionOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapd.store")
+	s := openT(t, path)
+	big := bytes.Repeat([]byte("v"), 4096)
+	// 100 overwrites of 16 keys: ~84 dead records, far past the slack.
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i%16), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := s.Stats().FileBytes
+	s.Close()
+
+	re := openT(t, path)
+	st := re.Stats()
+	if st.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", st.Compactions)
+	}
+	if st.Records != 16 {
+		t.Fatalf("records = %d, want 16", st.Records)
+	}
+	if st.FileBytes >= grown || st.FileBytes != st.LiveBytes+int64(len(magic)) {
+		t.Fatalf("compaction did not shrink the log: before %d, after %+v", grown, st)
+	}
+	for i := 0; i < 16; i++ {
+		if got, ok := re.Get(fmt.Sprintf("k%d", i)); !ok || !bytes.Equal(got, big) {
+			t.Fatalf("key k%d lost in compaction", i)
+		}
+	}
+	// Compacted logs replay cleanly.
+	re.Close()
+	again := openT(t, path)
+	if got := again.Stats(); got.Records != 16 || got.Compactions != 0 {
+		t.Fatalf("post-compaction reopen stats = %+v", got)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-store")
+	if err := os.WriteFile(path, []byte("something else entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a non-store file")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mapd.store")
+	s := openT(t, path)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g*50+i)%20)
+				if err := s.Put(key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := s.Get(key); ok && string(v) != key {
+					t.Errorf("Get(%s) = %q", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Records != 20 {
+		t.Fatalf("records = %d, want 20", st.Records)
+	}
+}
