@@ -48,10 +48,15 @@ func machineFor(name string) (*simnet.Machine, error) {
 		c, err = topology.NewCluster(8, 2, 4, topology.TwoLevelFatTree(2, 4, 2))
 	case "torus":
 		c, err = topology.NewCluster(32, 2, 4, topology.NewTorus3D(4, 4, 2))
+	case "torus64":
+		// 64 single-core nodes on an 8x8 torus: every rank is a torus node,
+		// so torus-native schedules apply at p=64 — the benchmark topology of
+		// BenchmarkAlltoall.
+		c, err = topology.NewCluster(64, 1, 1, topology.NewTorus3D(8, 8, 1))
 	case "single":
 		c = topology.SingleNode(2, 8)
 	default:
-		return nil, fmt.Errorf("unknown topology %q (want gpc, fattree, torus or single)", name)
+		return nil, fmt.Errorf("unknown topology %q (want gpc, fattree, torus, torus64 or single)", name)
 	}
 	if err != nil {
 		return nil, err
@@ -81,8 +86,8 @@ func parseInts(flagName, s string) ([]int, error) {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
-	topo := fs.String("topo", "gpc", "topology model: gpc, fattree, torus, single")
-	familyFlag := fs.String("family", "allgather", "collective family: allgather, allreduce, bcast, gather, scatter")
+	topo := fs.String("topo", "gpc", "topology model: gpc, fattree, torus, torus64, single")
+	familyFlag := fs.String("family", "allgather", "collective family: allgather, allreduce, bcast, gather, scatter, alltoall")
 	pFlag := fs.String("p", "64", "comma-separated rank counts")
 	bytesFlag := fs.String("bytes", "2048", "comma-separated payload sizes in bytes")
 	beam := fs.Int("beam", 0, "beam width (0 = default)")

@@ -54,6 +54,36 @@ func TestRunWritesAndMergesTable(t *testing.T) {
 	t.Fatal("merged table lost the allgather p=64 entry")
 }
 
+// TestRunAlltoallTorusNativeWins: on the full 8x8 torus the search's winner
+// for all-to-all at 1 KiB per pair is the torus-native round-robin, and the
+// written table stores it under the per-pair size bucket.
+func TestRunAlltoallTorusNativeWins(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.json")
+	var out bytes.Buffer
+	err := run([]string{"-topo", "torus64", "-family", "alltoall", "-p", "64", "-bytes", "65536", "-out", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "winner   torus-native") {
+		t.Errorf("search winner is not torus-native:\n%s", out.String())
+	}
+	tab, err := synth.LoadFile(path)
+	if err != nil {
+		t.Fatalf("load written table: %v", err)
+	}
+	e, ok := tab.Lookup(synth.Alltoall, 64, 65536)
+	if !ok {
+		t.Fatal("written table has no alltoall entry at p=64 payload=64KiB")
+	}
+	if e.Recipe.Alg != "torus-native" {
+		t.Errorf("stored recipe %s, want torus-native", e.Recipe)
+	}
+	if want := synth.SizeBucket(65536 / 64); e.SizeBucket != want {
+		t.Errorf("entry bucketed at %d, want the per-pair bucket %d", e.SizeBucket, want)
+	}
+}
+
 func TestRunExplainPrintsBreakdown(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-topo", "single", "-family", "allgather", "-p", "8", "-bytes", "1024", "-explain"}, &out)

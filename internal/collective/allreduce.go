@@ -132,15 +132,12 @@ func Allreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
 	if op == nil {
 		return fmt.Errorf("collective: nil reduce op")
 	}
-	cfg := configOf(c)
-	if prog, ok := cfg.Synth.Program(synth.Allreduce, c.Size(), len(buf)); ok {
-		defer beginCollective(prog.Name)()
-		name := "allreduce/" + prog.Name
-		c.TraceEnter(name)
-		defer c.TraceExit(name)
-		return ExecuteAllreduce(c, prog, buf, op)
+	if prog, ok := synthProgram(c, synth.Allreduce, len(buf), -1); ok {
+		return tracedExecute(c, "allreduce", prog.Name, func() error {
+			return ExecuteAllreduce(c, prog, buf, op)
+		})
 	}
-	s, label, err := cfg.Tuning.selectAllreduceSchedule(c.Size(), len(buf))
+	s, label, err := configOf(c).Tuning.selectAllreduceSchedule(c.Size(), len(buf))
 	if err != nil {
 		return err
 	}
@@ -148,11 +145,9 @@ func Allreduce(c *mpi.Comm, buf []byte, op ReduceOp) error {
 	if err != nil {
 		return err
 	}
-	defer beginCollective(label)()
-	name := "allreduce/" + label
-	c.TraceEnter(name)
-	defer c.TraceExit(name)
-	return ExecuteAllreduce(c, prog, buf, op)
+	return tracedExecute(c, "allreduce", label, func() error {
+		return ExecuteAllreduce(c, prog, buf, op)
+	})
 }
 
 // AllreduceLegacy is the hand-written flat fallback: binomial reduce to rank

@@ -5,59 +5,41 @@ import (
 	"repro/internal/synth"
 )
 
+// The rooted front doors. Each consults the world's synth.Selector through
+// the shared synthProgram helper — a table entry covering (family, p,
+// payload) whose program is rooted at the caller's root executes through the
+// schedule executor — and falls back to the hand-coded tree otherwise.
+// Synthesized programs are rooted where the search rooted them (rank 0 for
+// every current builder), so off-root calls always take the fallback.
+
 // Broadcast is the MPI_Bcast front door: root's data reaches every rank.
-// Like Allgather and Allreduce, it consults the world's synth.Selector
-// first — a table entry covering (bcast, p, len(data)) whose program is
-// rooted at the caller's root executes through the schedule executor;
-// everything else falls back to the hand-coded binomial tree. Synthesized
-// programs are rooted where the search rooted them (rank 0 for every
-// current builder), so off-root broadcasts always take the fallback.
 func Broadcast(c *mpi.Comm, root int, data []byte) error {
-	if len(data) > 0 {
-		cfg := configOf(c)
-		if prog, ok := cfg.Synth.Program(synth.Broadcast, c.Size(), len(data)); ok && prog.Root == root {
-			defer beginCollective(prog.Name)()
-			name := "bcast/" + prog.Name
-			c.TraceEnter(name)
-			defer c.TraceExit(name)
+	if prog, ok := synthProgram(c, synth.Broadcast, len(data), root); ok {
+		return tracedExecute(c, "bcast", prog.Name, func() error {
 			return ExecuteBroadcast(c, prog, data)
-		}
+		})
 	}
 	return BinomialBroadcast(c, root, data)
 }
 
 // Gather is the MPI_Gather front door: every rank contributes send and the
-// root's recv (one block per rank) ends up in rank order. A synth table
-// entry covering (gather, p, len(send)) with a matching root executes
-// through the schedule executor; otherwise the binomial gather runs.
+// root's recv (one block per rank) ends up in rank order.
 func Gather(c *mpi.Comm, root int, send, recv []byte) error {
-	if len(send) > 0 {
-		cfg := configOf(c)
-		if prog, ok := cfg.Synth.Program(synth.Gather, c.Size(), len(send)); ok && prog.Root == root {
-			defer beginCollective(prog.Name)()
-			name := "gather/" + prog.Name
-			c.TraceEnter(name)
-			defer c.TraceExit(name)
+	if prog, ok := synthProgram(c, synth.Gather, len(send), root); ok {
+		return tracedExecute(c, "gather", prog.Name, func() error {
 			return ExecuteGather(c, prog, root, send, recv)
-		}
+		})
 	}
 	return BinomialGather(c, root, send, recv, nil)
 }
 
 // Scatter is the MPI_Scatter front door: the root's data (one block per
-// rank) is distributed so rank r receives block r in out. A synth table
-// entry covering (scatter, p, len(out)) with a matching root executes
-// through the schedule executor; otherwise the binomial scatter runs.
+// rank) is distributed so rank r receives block r in out.
 func Scatter(c *mpi.Comm, root int, data, out []byte) error {
-	if len(out) > 0 {
-		cfg := configOf(c)
-		if prog, ok := cfg.Synth.Program(synth.Scatter, c.Size(), len(out)); ok && prog.Root == root {
-			defer beginCollective(prog.Name)()
-			name := "scatter/" + prog.Name
-			c.TraceEnter(name)
-			defer c.TraceExit(name)
+	if prog, ok := synthProgram(c, synth.Scatter, len(out), root); ok {
+		return tracedExecute(c, "scatter", prog.Name, func() error {
 			return ExecuteScatter(c, prog, data, out)
-		}
+		})
 	}
 	return BinomialScatter(c, root, data, out)
 }

@@ -123,26 +123,21 @@ func Allgather(c *mpi.Comm, send, recv []byte, alg Algorithm) error {
 	if err != nil {
 		return err
 	}
-	cfg := configOf(c)
 	if alg == AlgAuto {
-		if prog, ok := cfg.Synth.Program(synth.Allgather, c.Size(), blk); ok {
-			defer beginCollective(prog.Name)()
-			name := "allgather/" + prog.Name
-			c.TraceEnter(name)
-			defer c.TraceExit(name)
-			return ExecuteAllgather(c, prog, send, recv, nil)
+		if prog, ok := synthProgram(c, synth.Allgather, blk, -1); ok {
+			return tracedExecute(c, "allgather", prog.Name, func() error {
+				return ExecuteAllgather(c, prog, send, recv, nil)
+			})
 		}
 	}
-	resolved := cfg.Tuning.Select(alg, c.Size(), blk)
+	resolved := configOf(c).Tuning.Select(alg, c.Size(), blk)
 	prog, err := scheduleProgram(resolved, c.Size())
 	if err != nil {
 		return err
 	}
-	defer beginCollective(resolved.String())()
-	name := "allgather/" + resolved.String()
-	c.TraceEnter(name)
-	defer c.TraceExit(name)
-	return ExecuteAllgather(c, prog, send, recv, nil)
+	return tracedExecute(c, "allgather", resolved.String(), func() error {
+		return ExecuteAllgather(c, prog, send, recv, nil)
+	})
 }
 
 // AllgatherLegacy runs the selected flat allgather through the hand-written

@@ -154,6 +154,17 @@ func TestBaselineMatchesFrontDoor(t *testing.T) {
 			if got := synth.BaselineRecipe(synth.Allreduce, p, n).Alg; got != want {
 				t.Errorf("allreduce p=%d n=%d: BaselineRecipe=%q, front door=%q", p, n, got, want)
 			}
+			// Alltoall: the baseline switches on the per-pair message size
+			// (payload/p), Bruck below the threshold and pairwise exchange
+			// above — the registry rule the Alltoall front door compiles
+			// through baselineProgram.
+			want = "bruck-alltoall"
+			if n/p > 1024 {
+				want = "pairwise-alltoall"
+			}
+			if got := synth.BaselineRecipe(synth.Alltoall, p, n).Alg; got != want {
+				t.Errorf("alltoall p=%d n=%d: BaselineRecipe=%q, front door=%q", p, n, got, want)
+			}
 		}
 	}
 }

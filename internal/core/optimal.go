@@ -55,6 +55,22 @@ func PatternCost(pat Pattern) (CostFunc, error) {
 			})
 			return sum
 		}, nil
+	case Alltoall:
+		// Complete graph, uniform weights: the sum of distances over every
+		// ordered core pair. Invariant under rank permutation, so every
+		// mapping is optimal — the heuristic (identity) trivially matches.
+		return func(d *topology.Distances, m Mapping) float64 {
+			var sum float64
+			p := len(m)
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					if i != j {
+						sum += float64(d.At(m[i], m[j]))
+					}
+				}
+			}
+			return sum
+		}, nil
 	default:
 		return nil, fmt.Errorf("core: no cost function for pattern %v", pat)
 	}

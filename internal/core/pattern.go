@@ -26,10 +26,16 @@ const (
 	// BinomialGather is the binomial-tree gather pattern with message sizes
 	// growing toward the root; also used by MPI_Gather.
 	BinomialGather
+	// Alltoall is the complete-exchange pattern of MPI_Alltoall: every rank
+	// exchanges a distinct block with every other rank. It has no fine-tuned
+	// mapping heuristic (the pattern graph is the complete graph, so every
+	// mapping prices identically at the graph level); the win comes from the
+	// schedule side — topology-native schedules selected per fingerprint.
+	Alltoall
 )
 
 // Patterns lists every supported pattern.
-var Patterns = []Pattern{RecursiveDoubling, Ring, BinomialBroadcast, BinomialGather}
+var Patterns = []Pattern{RecursiveDoubling, Ring, BinomialBroadcast, BinomialGather, Alltoall}
 
 // String implements fmt.Stringer.
 func (p Pattern) String() string {
@@ -42,6 +48,8 @@ func (p Pattern) String() string {
 		return "binomial-broadcast"
 	case BinomialGather:
 		return "binomial-gather"
+	case Alltoall:
+		return "alltoall"
 	default:
 		return fmt.Sprintf("Pattern(%d)", uint8(p))
 	}
@@ -58,6 +66,8 @@ func (p Pattern) Heuristic() Heuristic {
 		return BBMH
 	case BinomialGather:
 		return BGMH
+	case Alltoall:
+		return ATAMH
 	default:
 		return nil
 	}
@@ -75,6 +85,8 @@ func (p Pattern) ContextHeuristic() ContextHeuristic {
 		return BBMHContext
 	case BinomialGather:
 		return BGMHContext
+	case Alltoall:
+		return ATAMHContext
 	default:
 		return nil
 	}
@@ -93,6 +105,8 @@ func (p Pattern) OracleHeuristic() OracleHeuristic {
 		return BBMHOracle
 	case BinomialGather:
 		return BGMHOracle
+	case Alltoall:
+		return ATAMHOracle
 	default:
 		return nil
 	}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+func alltoallSetup(t *testing.T, net topology.Network) *Setup {
+	t.Helper()
+	cluster, err := topology.NewCluster(64, 1, 1, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := simnet.NewMachine(cluster, simnet.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSetupWithMachine(m, 64, []int{1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAlltoallTorusBeatsFatTreeHeuristics: on the 64-rank 8x8 torus the
+// dimension-wise round-robin prices strictly below both fat-tree-era
+// schedules up to the store-and-forward crossover, and loses to cut-through
+// pairwise exchange at bulk per-pair sizes — the regime EXPERIMENTS.md
+// records.
+func TestAlltoallTorusBeatsFatTreeHeuristics(t *testing.T) {
+	s := alltoallSetup(t, topology.NewTorus3D(8, 8, 1))
+	rows, err := AlltoallSchedules(s, []int{64, 1024, 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows[:2] {
+		if row.TorusNative <= 0 {
+			t.Fatalf("torus-native not priced on the torus: %+v", row)
+		}
+		if row.Winner != "torus-native" {
+			t.Errorf("per-pair %dB: winner %s (%+v), want torus-native", row.PerPairBytes, row.Winner, row)
+		}
+		if row.TorusNative >= row.Pairwise || row.TorusNative >= row.Bruck {
+			t.Errorf("per-pair %dB: torus-native %g not strictly below pairwise %g and bruck %g",
+				row.PerPairBytes, row.TorusNative, row.Pairwise, row.Bruck)
+		}
+	}
+	if last := rows[2]; last.Winner != "pairwise-alltoall" {
+		t.Errorf("per-pair %dB: winner %s, want pairwise-alltoall past the store-and-forward crossover",
+			last.PerPairBytes, last.Winner)
+	}
+}
+
+// TestAlltoallFatTreeHasNoTorusRow: on a fat tree the torus-native column is
+// absent and the winner follows the per-pair size rule.
+func TestAlltoallFatTreeHasNoTorusRow(t *testing.T) {
+	s := alltoallSetup(t, topology.TwoLevelFatTree(8, 8, 4))
+	rows, err := AlltoallSchedules(s, []int{64, 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.TorusNative != 0 {
+			t.Errorf("per-pair %dB: torus-native priced %g on a fat tree", row.PerPairBytes, row.TorusNative)
+		}
+		if row.Winner == "torus-native" {
+			t.Errorf("per-pair %dB: torus-native won on a fat tree", row.PerPairBytes)
+		}
+	}
+}

@@ -75,6 +75,16 @@ func Build(pat core.Pattern, p int) (*graph.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
+	case core.Alltoall:
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				// Complete exchange: every ordered pair moves one per-pair
+				// block, so each undirected edge carries two.
+				if err := g.AddEdge(i, j, 2); err != nil {
+					return nil, err
+				}
+			}
+		}
 	default:
 		return nil, fmt.Errorf("patterns: unknown pattern %v", pat)
 	}

@@ -3,7 +3,6 @@ package sched
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/patterns"
 )
 
@@ -291,24 +290,6 @@ func ReduceScatterAllgather(p int) (*Schedule, error) {
 		s.Stages = append(s.Stages, st)
 	}
 	return s, nil
-}
-
-// ForPattern returns the standalone allgather (or broadcast/gather) schedule
-// whose communication pattern matches pat, sized for p ranks. Broadcast
-// schedules carry one block per transfer.
-func ForPattern(pat core.Pattern, p int) (*Schedule, error) {
-	switch pat {
-	case core.RecursiveDoubling:
-		return RecursiveDoubling(p)
-	case core.Ring:
-		return Ring(p)
-	case core.BinomialBroadcast:
-		return BinomialBroadcast(p, 1)
-	case core.BinomialGather:
-		return BinomialGather(p)
-	default:
-		return nil, fmt.Errorf("sched: no schedule for pattern %v", pat)
-	}
 }
 
 // assertTreeConsistency is a development aid verifying that BinomialGather's

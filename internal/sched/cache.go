@@ -66,6 +66,13 @@ func Fingerprint(s *Schedule) string {
 				word(int64(tr.First))
 				word(int64(tr.N))
 				word(int64(tr.Mode))
+				if tr.Mode == List {
+					// Only List transfers hash their block list, so every
+					// pre-existing schedule keeps its fingerprint.
+					for _, b := range tr.Blocks {
+						word(int64(b))
+					}
+				}
 			}
 		}
 	}

@@ -208,6 +208,17 @@ func (p *Program) buildExec() {
 				held[r].add(int32(b))
 			}
 		}
+	case InitSlab:
+		if p.Blocks%p.P != 0 {
+			p.execErr = fmt.Errorf("sched: %q has slab init with %d blocks not divisible by P=%d", p.Name, p.Blocks, p.P)
+			return
+		}
+		slab := p.Blocks / p.P
+		for r := 0; r < p.P; r++ {
+			for b := r * slab; b < (r+1)*slab; b++ {
+				held[r].add(int32(b))
+			}
+		}
 	default:
 		p.execErr = fmt.Errorf("sched: %q has unknown init kind %d", p.Name, p.Init)
 		return
@@ -251,6 +262,14 @@ func (p *Program) buildExec() {
 					} else {
 						blocks, err = p.rangeBlockList(held[tr.Src], tr.Src, tr.First, tr.N)
 					}
+				case List:
+					for _, b := range tr.Blocks {
+						if !held[tr.Src].has(b) {
+							err = fmt.Errorf("sched: compile %q: rank %d sends listed block %d it does not hold", p.Name, tr.Src, b)
+							break
+						}
+					}
+					blocks = tr.Blocks
 				default:
 					err = fmt.Errorf("sched: compile %q: unknown transfer mode %d", p.Name, tr.Mode)
 				}

@@ -35,6 +35,12 @@ const (
 	// yet and transmits the range [First, First+N) instead, which it must
 	// already hold.
 	Latest
+	// List sends the explicit block set Transfer.Blocks. All-to-all
+	// schedules move non-contiguous per-pair blocks (Bruck rounds bundle
+	// every block whose relative offset has a given bit set), which no
+	// modulo range expresses. N must equal len(Blocks) so pricing reads the
+	// message size without touching the list.
+	List
 )
 
 // InitKind declares a schedule's initial block distribution, which seeds
@@ -56,6 +62,11 @@ const (
 	// InitSizedOnly: the schedule is priced but has no executable initial
 	// condition (order-fix prologues, pricing-only phase schedules).
 	InitSizedOnly
+	// InitSlab: rank r initially holds the contiguous slab
+	// [r*(Blocks/P), (r+1)*(Blocks/P)) — the all-to-all convention where
+	// the block space is P² per-pair blocks and rank r starts with the P
+	// blocks it addresses to everyone. Requires Blocks divisible by P.
+	InitSlab
 )
 
 func (k InitKind) String() string {
@@ -68,6 +79,8 @@ func (k InitKind) String() string {
 		return "all"
 	case InitSizedOnly:
 		return "sized-only"
+	case InitSlab:
+		return "slab"
 	}
 	return "unknown"
 }
@@ -81,6 +94,10 @@ type Transfer struct {
 	First    int32 // first block of a Range transfer
 	N        int32 // block count (pricing and Range replay)
 	Mode     Mode
+	// Blocks is the explicit block set of a List transfer; nil otherwise.
+	// Validate requires N == len(Blocks) so every pricing path keeps
+	// reading N.
+	Blocks []int32
 }
 
 // Stage is a set of transfers that proceed concurrently. A stage may repeat:
@@ -152,6 +169,10 @@ func (s *Schedule) Validate() error {
 		return fmt.Errorf("sched: schedule %q root %d outside 0..%d", s.Name, s.Root, s.P-1)
 	}
 	blocks := s.NumBlocks()
+	if s.Init == InitSlab && blocks%s.P != 0 {
+		return fmt.Errorf("sched: schedule %q has slab init with %d blocks not divisible by P=%d",
+			s.Name, blocks, s.P)
+	}
 	check := func(stages []Stage, what string) error {
 		for si := range stages {
 			st := &stages[si]
@@ -168,6 +189,17 @@ func (s *Schedule) Validate() error {
 				case tr.N <= 0:
 					return fmt.Errorf("sched: %q %s stage %d transfer %d->%d carries %d blocks",
 						s.Name, what, si, tr.Src, tr.Dst, tr.N)
+				case tr.Mode == List:
+					if int(tr.N) != len(tr.Blocks) {
+						return fmt.Errorf("sched: %q %s stage %d list transfer %d->%d has N=%d for %d listed blocks",
+							s.Name, what, si, tr.Src, tr.Dst, tr.N, len(tr.Blocks))
+					}
+					for _, b := range tr.Blocks {
+						if b < 0 || int(b) >= blocks {
+							return fmt.Errorf("sched: %q %s stage %d list transfer names block %d outside 0..%d",
+								s.Name, what, si, b, blocks-1)
+						}
+					}
 				case tr.Mode != All && (tr.First < 0 || int(tr.First) >= blocks):
 					return fmt.Errorf("sched: %q %s stage %d transfer starts at block %d outside 0..%d",
 						s.Name, what, si, tr.First, blocks-1)

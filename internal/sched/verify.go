@@ -135,6 +135,11 @@ func (s *Schedule) initialHolding() (func(rank int) []int32, error) {
 		}, nil
 	case InitAll:
 		return func(r int) []int32 { return all }, nil
+	case InitSlab:
+		slab := blocks / s.P
+		return func(r int) []int32 {
+			return all[r*slab : (r+1)*slab]
+		}, nil
 	case InitSizedOnly:
 		return nil, fmt.Errorf("sched: %q is a pricing-only schedule with no initial block condition", s.Name)
 	}
@@ -187,6 +192,15 @@ func (rs *replayState) runStage(st *Stage, stageRecv []blockSet) error {
 				moved = prev.clone()
 			} else if moved, err = rs.rangeBlocks(tr.Src, tr.First, tr.N); err != nil {
 				return fmt.Errorf("transfer %d (rank %d -> rank %d): %w", ti, tr.Src, tr.Dst, err)
+			}
+		case List:
+			moved = newBlockSet(rs.blocks)
+			for _, b := range tr.Blocks {
+				if !rs.held[tr.Src].has(b) {
+					return fmt.Errorf("transfer %d (rank %d -> rank %d): rank %d sends listed block %d before holding it (holds %d of %d blocks)",
+						ti, tr.Src, tr.Dst, tr.Src, b, rs.held[tr.Src].count(), rs.blocks)
+				}
+				moved.add(b)
 			}
 		default:
 			return fmt.Errorf("transfer %d (rank %d -> rank %d): unknown transfer mode %d",
@@ -369,6 +383,41 @@ func (s *Schedule) VerifyAllreduce() error {
 			if got := contrib[r][b].count(); got != p {
 				return fmt.Errorf("sched: %q: rank %d block %d absorbs %d of %d contributions, missing ranks %s",
 					s.Name, r, b, got, p, contrib[r][b].missingFrom(p))
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyAlltoall replays the main stages of s from the all-to-all initial
+// condition — the block space is P² per-pair blocks, block s*P+d being the
+// data rank s addresses to rank d, and rank r starts holding its slab
+// [r*P, (r+1)*P) — and checks that every rank d ends holding all P blocks
+// addressed to it, {s*P+d : s in 0..P-1}. Possession is monotone, so
+// intermediaries (Bruck rounds route other pairs' blocks through relays) may
+// end holding extra blocks; the contract is that the addressed blocks arrive.
+func (s *Schedule) VerifyAlltoall() error {
+	p := s.P
+	if s.NumBlocks() != p*p {
+		return fmt.Errorf("sched: %q: all-to-all schedules move a P²-block space, got %d blocks for P=%d",
+			s.Name, s.NumBlocks(), p)
+	}
+	if s.Init != InitSlab {
+		return fmt.Errorf("sched: %q: all-to-all schedules need the InitSlab initial condition, got %v", s.Name, s.Init)
+	}
+	initial, err := s.initialHolding()
+	if err != nil {
+		return err
+	}
+	rs, err := s.replayMain(initial)
+	if err != nil {
+		return err
+	}
+	for d := 0; d < p; d++ {
+		for src := 0; src < p; src++ {
+			if b := int32(src*p + d); !rs.held[d].has(b) {
+				return fmt.Errorf("sched: %q: rank %d never receives block %d (rank %d's data addressed to it)",
+					s.Name, d, b, src)
 			}
 		}
 	}

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// torusTopo16 is a 16-node single-core cluster on a 4x4x1 torus: every rank
+// is a torus node, so the interconnect fingerprints as a 4x4 rank torus.
+func torusTopo16() TopologySpec {
+	return TopologySpec{
+		Nodes: 16, SocketsPerNode: 1, CoresPerSocket: 1,
+		Network: &NetworkSpec{Kind: "torus", X: 4, Y: 4, Z: 1},
+	}
+}
+
+// TestAlltoallTorusNativeSchedule is the mapd acceptance point for the
+// registry's torus hook: an all-to-all request on a torus-fingerprinted
+// cluster is priced on — and reports — the family's torus-native
+// dimension-wise schedule, while the same request on a fat tree keeps the
+// registry's pattern default.
+func TestAlltoallTorusNativeSchedule(t *testing.T) {
+	s := newTestService(t)
+
+	resp, err := s.Compute(context.Background(), &Request{
+		Topology: torusTopo16(),
+		Pattern:  PatternSpec{Name: "alltoall"},
+		Sizes:    []int{4096},
+	})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	checkPermutation(t, resp.Mapping, 16)
+	if !strings.Contains(resp.Schedule, "torus") {
+		t.Errorf("torus cluster priced schedule %q, want the torus-native construction", resp.Schedule)
+	}
+	if resp.Order != "none" {
+		t.Errorf("alltoall defaulted to order %q, want none (not order-sensitive)", resp.Order)
+	}
+	for _, r := range resp.Results {
+		if r.DefaultSeconds <= 0 || r.ReorderedSeconds <= 0 {
+			t.Errorf("non-positive modelled latency at %d bytes: %+v", r.Bytes, r)
+		}
+	}
+
+	fat, err := s.Compute(context.Background(), &Request{
+		Topology: TopologySpec{
+			Nodes: 16, SocketsPerNode: 1, CoresPerSocket: 1,
+			Network: &NetworkSpec{Kind: "fattree", Leaves: 4, NodesPerLeaf: 4, Uplinks: 2},
+		},
+		Pattern: PatternSpec{Name: "alltoall"},
+		Sizes:   []int{4096},
+	})
+	if err != nil {
+		t.Fatalf("Compute (fat tree): %v", err)
+	}
+	if fat.Schedule != "pairwise-alltoall" {
+		t.Errorf("fat-tree cluster priced schedule %q, want the registry default pairwise-alltoall", fat.Schedule)
+	}
+}
+
+// TestAlltoallPartialTorusKeepsDefault: when the request covers fewer
+// processes than the torus has cores, the rank space no longer tiles the
+// torus and the schedule must stay on the pattern default.
+func TestAlltoallPartialTorusKeepsDefault(t *testing.T) {
+	s := newTestService(t)
+	resp, err := s.Compute(context.Background(), &Request{
+		Topology: torusTopo16(),
+		Procs:    8,
+		Pattern:  PatternSpec{Name: "alltoall"},
+		Sizes:    []int{4096},
+	})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if resp.Schedule != "pairwise-alltoall" {
+		t.Errorf("partial torus priced schedule %q, want pairwise-alltoall", resp.Schedule)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
@@ -116,6 +117,10 @@ type Response struct {
 	// the winner of the modelled-cost comparison.
 	Heuristic string `json:"heuristic"`
 	Order     string `json:"order,omitempty"`
+	// Schedule names the collective schedule the latency comparison priced —
+	// the pattern's registry default, or the family's torus-native
+	// construction when the cluster's interconnect fingerprints as a torus.
+	Schedule string `json:"schedule,omitempty"`
 	// Degraded reports that the request exceeded its deadline and the
 	// service fell back to the identity mapping. Degraded responses are
 	// never cached.
@@ -373,33 +378,24 @@ func canonicalOrder(name string, c *compiled) (string, error) {
 	case "initComm", "endShfl", "none":
 		return name, nil
 	case "":
-		// Recursive doubling and the binomial gather deliver a permuted
-		// output vector under reordering; the ring and the broadcast do not.
-		switch c.pattern {
-		case core.RecursiveDoubling, core.BinomialGather:
+		// Order-sensitive patterns (registry flag: they deliver a permuted
+		// output vector under reordering) default to the initComm fix.
+		if spec, ok := sched.PatternFor(c.pattern); ok && spec.OrderSensitive {
 			return "initComm", nil
-		default:
-			return "none", nil
 		}
+		return "none", nil
 	default:
 		return "", fmt.Errorf("service: unknown order mode %q", name)
 	}
 }
 
-// heuristicNameFor names the pattern's own fine-tuned heuristic.
+// heuristicNameFor names the pattern's own fine-tuned heuristic, from the
+// pattern registry.
 func heuristicNameFor(p core.Pattern) string {
-	switch p {
-	case core.RecursiveDoubling:
-		return "rdmh"
-	case core.Ring:
-		return "rmh"
-	case core.BinomialBroadcast:
-		return "bbmh"
-	case core.BinomialGather:
-		return "bgmh"
-	default:
-		return "auto"
+	if spec, ok := sched.PatternFor(p); ok {
+		return spec.Heuristic
 	}
+	return "auto"
 }
 
 // cacheKey derives the content-addressed key: a SHA-256 over the canonical

@@ -447,11 +447,13 @@ type evaluation struct {
 // shared by every pattern that selects it. This is the bulk of the batch
 // amortisation on large topologies.
 type topoEnv struct {
+	cluster *topology.Cluster
 	oracle  topology.Oracle
 	oracleK string // "hierarchy" or "dense", for trace marks
 	machine *simnet.Machine
 
-	heurMaps onceMap[string, core.Mapping]
+	heurMaps   onceMap[string, core.Mapping]
+	schedNames onceMap[core.Pattern, string]
 
 	decMu sync.Mutex
 	decs  map[decKey]SizeResult
@@ -506,6 +508,39 @@ type progKey struct {
 	mapFP   uint64
 }
 
+// scheduleFor resolves the schedule the service prices for pat over p ranks:
+// the pattern's registry builder, except that a family-default pattern on a
+// cluster whose interconnect fingerprints as a torus covering every rank is
+// re-materialised with the family's torus-native dimension-wise construction
+// — the schedule-side win the complete-exchange pattern gets, since at the
+// graph level every mapping of a complete graph prices identically.
+func (e *topoEnv) scheduleFor(pat core.Pattern, p int) (*sched.Schedule, error) {
+	if spec, ok := sched.PatternFor(pat); ok && spec.FamilyDefault {
+		if dims, torus := topology.TorusRankDims(e.cluster, p); torus {
+			if fam, err := spec.Family.Desc(); err == nil && fam.TorusBuilder != nil {
+				return fam.TorusBuilder(dims)
+			}
+		}
+	}
+	return sched.ForPattern(pat, p)
+}
+
+// scheduleNameFor reports the name of the schedule scheduleFor resolves,
+// memoised per env (one build per pattern, shared across a batch).
+func (e *topoEnv) scheduleNameFor(pat core.Pattern, p int) string {
+	name, err := e.schedNames.do(pat, func() (string, error) {
+		s, err := e.scheduleFor(pat, p)
+		if err != nil {
+			return "", err
+		}
+		return s.Name, nil
+	})
+	if err != nil {
+		return ""
+	}
+	return name
+}
+
 // profilesFor builds the default and the order-preserved pricing profiles
 // for (pattern, mapping, mode) at most once per env. Schedule construction,
 // the compile-cache key hash and the contention aggregation cost
@@ -514,7 +549,7 @@ type progKey struct {
 // envelope evaluations.
 func (e *topoEnv) profilesFor(pat core.Pattern, layout []int, m core.Mapping, mapFP uint64, mode sched.OrderMode) (base, reord *simnet.PriceProfile, err error) {
 	base, err = e.baseProfs.do(pat, func() (*simnet.PriceProfile, error) {
-		schedule, err := sched.ForPattern(pat, len(layout))
+		schedule, err := e.scheduleFor(pat, len(layout))
 		if err != nil {
 			return nil, err
 		}
@@ -529,7 +564,7 @@ func (e *topoEnv) profilesFor(pat core.Pattern, layout []int, m core.Mapping, ma
 	}
 	key := progKey{pattern: pat, mode: mode, mapFP: mapFP}
 	reord, err = e.reordered.do(key, func() (*simnet.PriceProfile, error) {
-		schedule, err := sched.ForPattern(pat, len(layout))
+		schedule, err := e.scheduleFor(pat, len(layout))
 		if err != nil {
 			return nil, err
 		}
@@ -594,7 +629,8 @@ func (e *topoEnv) mappingFor(ctx context.Context, name string, fn func(context.C
 // oracle alone.
 func (s *Service) buildEnv(c *compiled) (*topoEnv, error) {
 	env := &topoEnv{
-		decs: make(map[decKey]SizeResult),
+		cluster: c.cluster,
+		decs:    make(map[decKey]SizeResult),
 	}
 	// Prefer the compact hierarchical oracle: O(p) memory and the bucketed
 	// find-closest kernel. Non-hierarchical clusters (tori) fall back to the
@@ -687,13 +723,17 @@ func (s *Service) run(ctx context.Context, c *compiled, envFn func() (*topoEnv, 
 	}
 	win := &evals[best]
 	mark("selected:" + win.name)
-	return &Response{
+	resp := &Response{
 		Mapping:   win.mapping,
 		Heuristic: win.name,
 		Order:     c.order,
 		Results:   win.results,
 		GraphCost: win.gcost,
-	}, nil
+	}
+	if c.graph == nil {
+		resp.Schedule = env.scheduleNameFor(c.pattern, c.procs)
+	}
+	return resp, nil
 }
 
 // evaluate computes one candidate's mapping and its modelled cost: the

@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"fmt"
+)
+
+// SeedEnv carries the machine context a family's search hooks parameterise
+// their recipes with: the rank count, the searched payload, the hierarchical
+// radix candidates derived from the machine shape, and — when the machine is
+// a torus whose cores the job covers under the blocked layout — the
+// mixed-radix torus dimension vector.
+type SeedEnv struct {
+	P            int
+	PayloadBytes int
+	GroupSizes   []int
+	TorusDims    []int
+}
+
+// familyHooks are a family's search extensions: extra parameterised seed
+// recipes (hierarchical compositions, torus-native builders, pipelining
+// chunk counts) and family-specific mutation operators applied to beam
+// members. Both are optional; the registry's flat Seeds list is always
+// seeded regardless.
+type familyHooks struct {
+	seeds  func(env SeedEnv) []Recipe
+	mutate func(env SeedEnv, c *Candidate) []Recipe
+}
+
+var familyHookReg = map[Family]familyHooks{}
+
+// registerFamilyHooks installs a family's search hooks (init-time; duplicate
+// registration is a programming error).
+func registerFamilyHooks(f Family, h familyHooks) {
+	if _, dup := familyHookReg[f]; dup {
+		panic(fmt.Sprintf("synth: hooks for family %v registered twice", f))
+	}
+	familyHookReg[f] = h
+}
+
+// hookSeeds returns the family's parameterised seed recipes, or nil.
+func hookSeeds(f Family, env SeedEnv) []Recipe {
+	if h, ok := familyHookReg[f]; ok && h.seeds != nil {
+		return h.seeds(env)
+	}
+	return nil
+}
+
+// hookMutations returns the family's extra neighbour recipes for a beam
+// member, or nil.
+func hookMutations(f Family, env SeedEnv, c *Candidate) []Recipe {
+	if h, ok := familyHookReg[f]; ok && h.mutate != nil {
+		return h.mutate(env, c)
+	}
+	return nil
+}
+
+// torusSeeds seeds the family's dimension-wise torus-native builder when the
+// machine exposes torus dimensions.
+func torusSeeds(env SeedEnv) []Recipe {
+	if env.TorusDims == nil {
+		return nil
+	}
+	return []Recipe{{Alg: "torus-native", Dims: env.TorusDims}}
+}
+
+// pipelineChunkSeeds are the chunk counts the broadcast pipelining operator
+// seeds: a small fixed count for mid payloads plus counts pinned to the rank
+// count — the chain pipeline's price approaches bytes/bandwidth only once
+// chunks reaches the chain length, so p-relative counts are where the bulk
+// wins live. Only counts dividing the payload materialise (PayloadKind buffer
+// sizing requires exact division).
+func pipelineChunkSeeds(p int) []int {
+	return []int{8, p, 2 * p}
+}
+
+// pipelineSeeds seeds the chunked pipelined broadcast at each candidate
+// chunk count that divides the payload — the family-specific Repeat-count
+// operator's entry points.
+func pipelineSeeds(env SeedEnv) []Recipe {
+	var seeds []Recipe
+	seen := map[int]bool{}
+	for _, chunks := range pipelineChunkSeeds(env.P) {
+		if chunks >= 2 && !seen[chunks] && env.PayloadBytes >= chunks && env.PayloadBytes%chunks == 0 {
+			seen[chunks] = true
+			seeds = append(seeds, Recipe{Alg: "pipelined", Chunks: chunks})
+		}
+	}
+	return seeds
+}
+
+// pipelineMutate explores neighbouring chunk counts of a pipelined beam
+// member (halve and double, within payload divisibility and a 4p ceiling
+// past which stage alphas swamp the per-chunk overlap), so the search can
+// walk toward the latency/overlap sweet spot rather than only sampling the
+// fixed seed counts.
+func pipelineMutate(env SeedEnv, c *Candidate) []Recipe {
+	if c.Recipe.Alg != "pipelined" {
+		return nil
+	}
+	var out []Recipe
+	for _, chunks := range []int{c.Recipe.Chunks / 2, c.Recipe.Chunks * 2} {
+		if chunks >= 2 && chunks <= 4*env.P && env.PayloadBytes >= chunks && env.PayloadBytes%chunks == 0 {
+			alt := c.Recipe
+			alt.Chunks = chunks
+			out = append(out, alt)
+		}
+	}
+	return out
+}
+
+func init() {
+	registerFamilyHooks(Allgather, familyHooks{
+		seeds: func(env SeedEnv) []Recipe {
+			// Hierarchical seeds come first: they are the cheapest to price
+			// and usually set a tight incumbent, which lets the lower bound
+			// prune the stage-heavy flat algorithms without pricing them.
+			var seeds []Recipe
+			for _, g := range env.GroupSizes {
+				for _, intra := range []string{"linear", "non-linear"} {
+					for _, inter := range []string{"recursive-doubling", "ring"} {
+						seeds = append(seeds, Recipe{Alg: "hierarchical", GroupSize: g, Intra: intra, Inter: inter})
+					}
+				}
+			}
+			return append(seeds, torusSeeds(env)...)
+		},
+	})
+	registerFamilyHooks(Allreduce, familyHooks{seeds: torusSeeds})
+	registerFamilyHooks(Alltoall, familyHooks{seeds: torusSeeds})
+	registerFamilyHooks(Broadcast, familyHooks{seeds: pipelineSeeds, mutate: pipelineMutate})
+}

@@ -15,11 +15,15 @@ import (
 // schedule fingerprint proves the table entry still describes the same
 // schedule the search priced.
 type Recipe struct {
-	// Alg names the base builder: ring, bruck, recursive-doubling,
-	// neighbor-exchange, hierarchical (allgather); allreduce,
-	// reduce-scatter-allgather (allreduce); binomial-broadcast,
-	// linear-broadcast, scatter-allgather-broadcast (bcast);
-	// binomial-gather, linear-gather (gather); binomial-scatter (scatter).
+	// Alg names the base builder. Most names resolve through the family
+	// registry's Builders map (ring, bruck, recursive-doubling,
+	// neighbor-exchange, allreduce, reduce-scatter-allgather,
+	// binomial-broadcast, linear-broadcast, scatter-allgather-broadcast,
+	// binomial-gather, linear-gather, binomial-scatter, pairwise-alltoall,
+	// bruck-alltoall); three parameterised constructions dispatch through
+	// dedicated registry hooks: "hierarchical" (GroupSize/Intra/Inter),
+	// "torus-native" (Dims, the family's dimension-wise torus builder) and
+	// "pipelined" (Chunks, the family's chunked Repeat-count variant).
 	Alg string `json:"alg"`
 	// GroupSize is the hierarchical radix: ranks per node group. It must
 	// divide the rank count. Only meaningful for Alg == "hierarchical".
@@ -29,6 +33,12 @@ type Recipe struct {
 	// Inter is the hierarchical leader-phase kind: "recursive-doubling" or
 	// "ring".
 	Inter string `json:"inter,omitempty"`
+	// Dims is the torus dimension vector (blocked rank numbering,
+	// fastest-varying first). Only meaningful for Alg == "torus-native".
+	Dims []int `json:"dims,omitempty"`
+	// Chunks is the pipelining chunk count. Only meaningful for
+	// Alg == "pipelined"; the payload must divide by it.
+	Chunks int `json:"chunks,omitempty"`
 	// Ops are stage mutations applied in order to the materialised base
 	// schedule.
 	Ops []StageOp `json:"ops,omitempty"`
@@ -49,8 +59,17 @@ type StageOp struct {
 func (r Recipe) String() string {
 	var sb strings.Builder
 	sb.WriteString(r.Alg)
-	if r.Alg == "hierarchical" {
+	switch r.Alg {
+	case "hierarchical":
 		fmt.Fprintf(&sb, "(g=%d,%s,%s)", r.GroupSize, r.Intra, r.Inter)
+	case "torus-native":
+		parts := make([]string, len(r.Dims))
+		for i, n := range r.Dims {
+			parts[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(&sb, "(%s)", strings.Join(parts, "x"))
+	case "pipelined":
+		fmt.Fprintf(&sb, "(chunks=%d)", r.Chunks)
 	}
 	for _, op := range r.Ops {
 		fmt.Fprintf(&sb, "~%s%d", op.Op, op.Stage)
@@ -116,17 +135,17 @@ func (r Recipe) Materialize(f Family, p int) (*sched.Schedule, error) {
 	return s, nil
 }
 
-// base dispatches to the sched builder named by the recipe.
+// base dispatches to the family registry's builder for the recipe's Alg.
+// "hierarchical", "torus-native" and "pipelined" are the parameterised
+// constructions; every other name resolves through the family's Builders
+// map, so registering a family automatically makes its base builders
+// recipe-addressable.
 func (r Recipe) base(f Family, p int) (*sched.Schedule, error) {
+	fam, err := f.Desc()
+	if err != nil {
+		return nil, err
+	}
 	switch r.Alg {
-	case "ring":
-		return sched.Ring(p)
-	case "bruck":
-		return sched.Bruck(p)
-	case "recursive-doubling":
-		return sched.RecursiveDoubling(p)
-	case "neighbor-exchange":
-		return sched.NeighborExchange(p)
 	case "hierarchical":
 		groups, err := contiguousGroups(p, r.GroupSize)
 		if err != nil {
@@ -148,24 +167,32 @@ func (r Recipe) base(f Family, p int) (*sched.Schedule, error) {
 		// structurally different schedules that must not share a name.
 		s.Name = fmt.Sprintf("%s-g%d", s.Name, r.GroupSize)
 		return s, nil
-	case "allreduce":
-		return sched.BinomialReduceBroadcast(p)
-	case "reduce-scatter-allgather":
-		return sched.ReduceScatterAllgather(p)
-	case "binomial-broadcast":
-		return sched.BinomialBroadcast(p, 1)
-	case "linear-broadcast":
-		return sched.LinearBroadcast(p, 1)
-	case "scatter-allgather-broadcast":
-		return sched.ScatterAllgatherBroadcast(p)
-	case "binomial-gather":
-		return sched.BinomialGather(p)
-	case "linear-gather":
-		return sched.LinearGather(p)
-	case "binomial-scatter":
-		return sched.BinomialScatter(p)
+	case "torus-native":
+		if fam.TorusBuilder == nil {
+			return nil, fmt.Errorf("synth: family %q has no torus-native builder", fam.Name)
+		}
+		if len(r.Dims) == 0 {
+			return nil, fmt.Errorf("synth: torus-native recipe needs dims")
+		}
+		ranks := 1
+		for _, n := range r.Dims {
+			ranks *= n
+		}
+		if ranks != p {
+			return nil, fmt.Errorf("synth: torus dims %v cover %d ranks, schedule needs %d", r.Dims, ranks, p)
+		}
+		return fam.TorusBuilder(r.Dims)
+	case "pipelined":
+		if fam.Pipelined == nil {
+			return nil, fmt.Errorf("synth: family %q has no pipelined builder", fam.Name)
+		}
+		if r.Chunks < 2 {
+			return nil, fmt.Errorf("synth: pipelined recipe needs at least 2 chunks, got %d", r.Chunks)
+		}
+		return fam.Pipelined(p, r.Chunks)
+	default:
+		return fam.Build(r.Alg, p)
 	}
-	return nil, fmt.Errorf("synth: unknown base builder %q", r.Alg)
 }
 
 // applyStageOp mutates s in place. Structural inapplicability (index out of

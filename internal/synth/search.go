@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/sched"
 	"repro/internal/simnet"
+	"repro/internal/topology"
 )
 
 // Options tunes the beam search. The zero value selects defaults sized so
@@ -83,73 +84,32 @@ func (r *Result) Improvement() float64 {
 }
 
 // BaselineRecipe mirrors the hand-coded selection rules of package
-// collective (MVAPICH-style thresholds): ring above 1 KiB per-rank blocks,
-// recursive doubling on power-of-two communicators below it, Bruck
-// otherwise; Rabenseifner for large divisible power-of-two allreduces, the
-// binomial reduce+broadcast tree otherwise. TestBaselineMatchesFrontDoor in
-// package collective pins this mirror against the real selection so the two
-// cannot drift.
+// collective (MVAPICH-style thresholds) through the family registry's
+// Baseline hook: ring above 1 KiB per-rank blocks, recursive doubling on
+// power-of-two communicators below it, Bruck otherwise; Rabenseifner for
+// large divisible power-of-two allreduces, the binomial reduce+broadcast
+// tree otherwise; Bruck for small per-pair all-to-alls, pairwise exchange
+// above. TestBaselineMatchesFrontDoor in package collective pins the hook
+// against the real selection so the two cannot drift.
 func BaselineRecipe(f Family, p, payloadBytes int) Recipe {
-	switch f {
-	case Allgather:
-		switch {
-		case payloadBytes > 1024:
-			return Recipe{Alg: "ring"}
-		case p&(p-1) == 0:
-			return Recipe{Alg: "recursive-doubling"}
-		default:
-			return Recipe{Alg: "bruck"}
-		}
-	case Allreduce:
-		if p > 1 && p&(p-1) == 0 && payloadBytes%p == 0 && payloadBytes >= 32768 {
-			return Recipe{Alg: "reduce-scatter-allgather"}
-		}
-		return Recipe{Alg: "allreduce"}
-	case Broadcast:
-		return Recipe{Alg: "binomial-broadcast"}
-	case Gather:
-		return Recipe{Alg: "binomial-gather"}
-	case Scatter:
-		return Recipe{Alg: "binomial-scatter"}
+	fam, err := f.Desc()
+	if err != nil {
+		return Recipe{}
 	}
-	return Recipe{}
+	return Recipe{Alg: fam.Baseline(p, payloadBytes)}
 }
 
 // seedRecipes enumerates the base recipes of a family, in deterministic
-// order. Hierarchical seeds cover every intra/inter combination over the
-// radix candidates derived from the machine shape; they come first because
-// they are the cheapest to price and usually set a tight incumbent, which
-// lets the lower bound prune the stage-heavy flat algorithms (ring,
-// neighbor-exchange at large p) without pricing them.
-func seedRecipes(f Family, p int, groupSizes []int) []Recipe {
-	var seeds []Recipe
-	switch f {
-	case Allgather:
-		for _, g := range groupSizes {
-			for _, intra := range []string{"linear", "non-linear"} {
-				for _, inter := range []string{"recursive-doubling", "ring"} {
-					seeds = append(seeds, Recipe{Alg: "hierarchical", GroupSize: g, Intra: intra, Inter: inter})
-				}
-			}
+// order: the family's hook seeds first (hierarchical compositions,
+// torus-native builders, pipelining chunk counts — the parameterised
+// constructions that need machine context), then the registry's flat base
+// builders.
+func seedRecipes(f Family, env SeedEnv) []Recipe {
+	seeds := hookSeeds(f, env)
+	if fam, err := f.Desc(); err == nil {
+		for _, alg := range fam.Seeds {
+			seeds = append(seeds, Recipe{Alg: alg})
 		}
-		seeds = append(seeds,
-			Recipe{Alg: "ring"},
-			Recipe{Alg: "bruck"},
-			Recipe{Alg: "recursive-doubling"},
-			Recipe{Alg: "neighbor-exchange"},
-		)
-	case Allreduce:
-		seeds = append(seeds, Recipe{Alg: "allreduce"}, Recipe{Alg: "reduce-scatter-allgather"})
-	case Broadcast:
-		seeds = append(seeds,
-			Recipe{Alg: "binomial-broadcast"},
-			Recipe{Alg: "linear-broadcast"},
-			Recipe{Alg: "scatter-allgather-broadcast"},
-		)
-	case Gather:
-		seeds = append(seeds, Recipe{Alg: "binomial-gather"}, Recipe{Alg: "linear-gather"})
-	case Scatter:
-		seeds = append(seeds, Recipe{Alg: "binomial-scatter"})
 	}
 	return seeds
 }
@@ -192,6 +152,7 @@ type searcher struct {
 	p       int
 	payload int
 	opt     Options
+	env     SeedEnv
 
 	seen      map[string]bool // schedule fingerprints already evaluated
 	cands     []*Candidate
@@ -228,8 +189,12 @@ func Search(m *simnet.Machine, layout []int, f Family, p, payloadBytes int, opt 
 		return nil, fmt.Errorf("synth: layout covers %d ranks, search needs %d", len(layout), p)
 	}
 
+	env := SeedEnv{P: p, PayloadBytes: payloadBytes, GroupSizes: radixCandidates(m, p)}
+	if dims, ok := topology.TorusRankDims(m.Cluster, p); ok {
+		env.TorusDims = dims
+	}
 	s := &searcher{
-		m: m, layout: layout, f: f, p: p, payload: payloadBytes, opt: opt,
+		m: m, layout: layout, f: f, p: p, payload: payloadBytes, opt: opt, env: env,
 		seen: make(map[string]bool), incumbent: inf(), bestLat: inf(),
 	}
 
@@ -241,7 +206,7 @@ func Search(m *simnet.Machine, layout []int, f Family, p, payloadBytes int, opt 
 		return nil, fmt.Errorf("synth: baseline for %v p=%d: %w", f, p, err)
 	}
 
-	for _, r := range seedRecipes(f, p, radixCandidates(m, p)) {
+	for _, r := range seedRecipes(f, env) {
 		s.evaluate(r, true) //nolint:errcheck — pruned candidates are counted, not fatal
 	}
 
@@ -392,10 +357,11 @@ func (s *searcher) lowerBound(sch *sched.Schedule, blockBytes int) float64 {
 }
 
 // mutations derives the neighbour recipes of a beam member: hierarchical
-// parameter moves (toggle intra/inter kind, change radix) and stage
-// operators probed from both ends of the schedule.
+// parameter moves (toggle intra/inter kind, change radix), the family's
+// registered hook operators (pipelining chunk moves), and stage operators
+// probed from both ends of the schedule.
 func (s *searcher) mutations(c *Candidate) []Recipe {
-	var out []Recipe
+	out := hookMutations(s.f, s.env, c)
 	r := c.Recipe
 	if r.Alg == "hierarchical" {
 		alt := r

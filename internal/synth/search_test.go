@@ -157,6 +157,70 @@ func TestSearchDeterministic(t *testing.T) {
 	}
 }
 
+// TestSearchPipelinedBroadcastOnPareto is the pipelining-operator satellite:
+// at bulk payloads the chain pipeline moves every byte once per rank in
+// chunk-sized stages, undercutting both the binomial tree (log2(p) serialised
+// full-payload hops) and scatter+allgather (~2x the payload on the wire), so
+// a pipelined recipe must survive to the pareto front — and at this size it
+// should price strictly below the unpipelined binomial baseline.
+func TestSearchPipelinedBroadcastOnPareto(t *testing.T) {
+	m := fatTree64(t)
+	res, err := Search(m, nil, Broadcast, 64, 16<<20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pipelined *Candidate
+	for _, c := range res.Pareto {
+		if c.Recipe.Alg == "pipelined" {
+			pipelined = c
+			break
+		}
+	}
+	if pipelined == nil {
+		recipes := make([]string, len(res.Pareto))
+		for i, c := range res.Pareto {
+			recipes[i] = c.Recipe.String()
+		}
+		t.Fatalf("no pipelined recipe on the pareto front at 1 MiB: %v", recipes)
+	}
+	if res.Baseline.Recipe.Alg == "binomial-broadcast" && pipelined.Price >= res.Baseline.Price {
+		t.Errorf("pipelined %s prices %.3gs, not below binomial baseline %.3gs",
+			pipelined.Recipe, pipelined.Price, res.Baseline.Price)
+	}
+	t.Logf("pipelined %s: %.4gs vs baseline %s %.4gs",
+		pipelined.Recipe, pipelined.Price, res.Baseline.Recipe, res.Baseline.Price)
+}
+
+// TestSearchTorusAlltoall: searching the all-to-all family on a 64-rank 2-D
+// torus at a 1 KiB per-pair payload must surface the torus-native
+// round-robin schedule as the winner — the selection-table path the mapd
+// front door serves from.
+func TestSearchTorusAlltoall(t *testing.T) {
+	c, err := topology.NewCluster(64, 1, 1, topology.NewTorus3D(8, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := simnet.NewMachine(c, simnet.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(m, nil, Alltoall, 64, 64*1024, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best candidate")
+	}
+	if res.Best.Recipe.Alg != "torus-native" {
+		t.Fatalf("expected torus-native winner on the torus, got %s (%.3gs) vs baseline %s (%.3gs)",
+			res.Best.Recipe, res.Best.Price, res.Baseline.Recipe, res.Baseline.Price)
+	}
+	if res.Best.Price >= res.Baseline.Price {
+		t.Errorf("torus-native %.3gs not below baseline %s %.3gs",
+			res.Best.Price, res.Baseline.Recipe, res.Baseline.Price)
+	}
+}
+
 // TestSearchAllreduceVerifyGate: every allreduce pareto member satisfies the
 // contribution-tracking verify contract (each rank's value absorbed exactly
 // once), at a p small enough for the O(p^2 blocks) replay.

@@ -6,121 +6,54 @@
 // this package supplies the search.
 //
 // The search walks a space of *recipes* — serializable constructions that
-// materialise into sched.Schedule values through the existing builders
-// (Ring, Bruck, RecursiveDoubling, NeighborExchange, the hierarchical
-// compositions over sched.Groups, the reduction and broadcast builders) —
-// plus stage-level mutations applied after materialisation (swap or merge
-// adjacent stages, split a wide stage in two, swap intra/inter kinds, vary
-// the hierarchical radix). Candidates that fail their family's Verify
-// contract are pruned and counted; survivors are priced with
-// simnet.PriceProgram through sched.CompileCached, with a cheap admissible
-// lower bound pruning candidates that cannot beat the incumbent. The result
-// is a pareto front over (latency price, bandwidth price) and a single
-// winner per (topology fingerprint, family, rank count, size bucket) that
-// lands in a Table the front-door selection in package collective consults
-// before falling back to the hand-coded threshold rules.
+// materialise into sched.Schedule values through the collective family
+// registry's base builders (sched.Family), the hierarchical compositions
+// over sched.Groups, the torus dimension-wise builders, and the chunked
+// pipelining variants — plus stage-level mutations applied after
+// materialisation (swap or merge adjacent stages, split a wide stage in two,
+// swap intra/inter kinds, vary the hierarchical radix or chunk count).
+// Candidates that fail their family's Verify contract are pruned and
+// counted; survivors are priced with simnet.PriceProgram through
+// sched.CompileCached, with a cheap admissible lower bound pruning
+// candidates that cannot beat the incumbent. The result is a pareto front
+// over (latency price, bandwidth price) and a single winner per (topology
+// fingerprint, family, rank count, size bucket) that lands in a Table the
+// front-door selection in package collective consults before falling back to
+// the hand-coded threshold rules.
 package synth
 
 import (
-	"fmt"
-
 	"repro/internal/sched"
 )
 
-// Family identifies a collective family: it selects the Verify contract a
-// candidate schedule must satisfy, the initial block condition, and how a
-// payload size maps onto the schedule's block space.
-type Family uint8
+// Family aliases the schedule layer's collective family identifier: the
+// registry in package sched owns the per-family contracts (Verify, payload
+// sizing, base builders, selection-table bucketing), and synth attaches its
+// search hooks — seed recipes and family-specific operators — to the same
+// IDs. String(), Verify, BlockBytes, ProgramBlockBytes and BucketBytes are
+// all methods of the underlying sched.FamilyID.
+type Family = sched.FamilyID
 
 const (
-	// Allgather: every rank contributes one block; all ranks end with all
-	// blocks (InitOwn, Blocks == P). Payload size is the per-rank block.
-	Allgather Family = iota
-	// Allreduce: every rank's buffer is combined in place (InitAll).
-	// Payload size is the whole buffer, split over the schedule's blocks.
-	Allreduce
-	// Broadcast: the root's message reaches every rank (InitRoot). Payload
-	// size is the whole message, split over the schedule's blocks.
-	Broadcast
-	// Gather: every rank's block reaches the root (InitOwn).
-	Gather
-	// Scatter: the root's per-rank blocks reach their owners (InitRoot).
-	Scatter
+	Allgather = sched.FamilyAllgather
+	Allreduce = sched.FamilyAllreduce
+	Broadcast = sched.FamilyBroadcast
+	Gather    = sched.FamilyGather
+	Scatter   = sched.FamilyScatter
+	Alltoall  = sched.FamilyAlltoall
 )
 
-// String implements fmt.Stringer; the values are stable table keys.
-func (f Family) String() string {
-	switch f {
-	case Allgather:
-		return "allgather"
-	case Allreduce:
-		return "allreduce"
-	case Broadcast:
-		return "bcast"
-	case Gather:
-		return "gather"
-	case Scatter:
-		return "scatter"
+// Families lists every registered family in table-key order.
+func Families() []Family {
+	fams := sched.Families()
+	out := make([]Family, len(fams))
+	for i, f := range fams {
+		out[i] = f.ID
 	}
-	return fmt.Sprintf("Family(%d)", uint8(f))
+	return out
 }
 
-// ParseFamily inverts String.
+// ParseFamily inverts Family.String through the registry.
 func ParseFamily(s string) (Family, error) {
-	for _, f := range []Family{Allgather, Allreduce, Broadcast, Gather, Scatter} {
-		if f.String() == s {
-			return f, nil
-		}
-	}
-	return 0, fmt.Errorf("synth: unknown collective family %q", s)
-}
-
-// Verify replays s against the family's correctness contract. A schedule
-// that fails here is not a valid implementation of the collective and is
-// pruned from the search.
-func (f Family) Verify(s *sched.Schedule) error {
-	switch f {
-	case Allgather:
-		return s.VerifyAllgather()
-	case Allreduce:
-		return s.VerifyAllreduce()
-	case Broadcast:
-		return s.VerifyBroadcast(s.Root)
-	case Gather:
-		return s.VerifyGather(s.Root)
-	case Scatter:
-		return s.VerifyScatter(s.Root)
-	}
-	return fmt.Errorf("synth: unknown family %v", f)
-}
-
-// BlockBytes maps a family payload size onto a schedule's block size: the
-// per-block byte count simnet prices with. Allgather/gather/scatter payloads
-// are per-rank blocks (the schedule's block space is the rank space);
-// allreduce and broadcast payloads are whole buffers split over the
-// schedule's block space, so the payload must divide into the blocks.
-func (f Family) BlockBytes(s *sched.Schedule, payloadBytes int) (int, error) {
-	return f.blockBytes(s.Name, s.NumBlocks(), payloadBytes)
-}
-
-// ProgramBlockBytes is BlockBytes against an already-compiled program.
-func (f Family) ProgramBlockBytes(p *sched.Program, payloadBytes int) (int, error) {
-	return f.blockBytes(p.Name, p.Blocks, payloadBytes)
-}
-
-func (f Family) blockBytes(name string, blocks, payloadBytes int) (int, error) {
-	if payloadBytes <= 0 {
-		return 0, fmt.Errorf("synth: payload must be positive, got %d", payloadBytes)
-	}
-	switch f {
-	case Allgather, Gather, Scatter:
-		return payloadBytes, nil
-	case Allreduce, Broadcast:
-		if payloadBytes%blocks != 0 {
-			return 0, fmt.Errorf("synth: %d-byte payload does not divide into %q's %d blocks",
-				payloadBytes, name, blocks)
-		}
-		return payloadBytes / blocks, nil
-	}
-	return 0, fmt.Errorf("synth: unknown family %v", f)
+	return sched.ParseFamily(s)
 }

@@ -21,6 +21,15 @@ func SizeBucket(payloadBytes int) int {
 	return bits.Len64(uint64(payloadBytes - 1))
 }
 
+// familyBucket buckets a payload on the family's sizing unit. Per-pair
+// families (all-to-all) bucket on payload/p: the per-destination message is
+// what the network moves, and bucketing the aggregate would scatter the same
+// per-pair regime across different buckets as p varies — a p=64 and a p=256
+// job with identical 4 KiB per-pair messages must share a bucket key.
+func familyBucket(f Family, p, payloadBytes int) int {
+	return SizeBucket(f.BucketBytes(p, payloadBytes))
+}
+
 // Entry records one synthesis winner: the recipe to re-materialise it, the
 // schedule fingerprint that proves re-materialisation reproduced what the
 // search priced, and the prices that justified storing it.
@@ -93,7 +102,7 @@ func (t *Table) Lookup(f Family, p, payloadBytes int) (*Entry, bool) {
 	if t == nil {
 		return nil, false
 	}
-	key := Entry{Family: f.String(), P: p, SizeBucket: SizeBucket(payloadBytes)}
+	key := Entry{Family: f.String(), P: p, SizeBucket: familyBucket(f, p, payloadBytes)}
 	i := sort.Search(len(t.Entries), func(i int) bool { return !entryLess(&t.Entries[i], &key) })
 	if i < len(t.Entries) && t.Entries[i].Family == key.Family &&
 		t.Entries[i].P == key.P && t.Entries[i].SizeBucket == key.SizeBucket {
@@ -176,7 +185,7 @@ func BuildTable(m *simnet.Machine, families []Family, ps []int, payloads []int, 
 					t.Put(Entry{
 						Family:          f.String(),
 						P:               p,
-						SizeBucket:      SizeBucket(payload),
+						SizeBucket:      familyBucket(f, p, payload),
 						PayloadBytes:    payload,
 						Recipe:          res.Best.Recipe,
 						Schedule:        res.Best.Fingerprint,

@@ -18,6 +18,38 @@ func TestSizeBucket(t *testing.T) {
 	}
 }
 
+// TestAlltoallBucketsPerPair pins the satellite fix: all-to-all table keys
+// bucket on per-pair bytes, not the aggregate send buffer. A p=64 and a
+// p=256 job moving the same 4 KiB per destination land in the same bucket —
+// the aggregate payloads (256 KiB vs 1 MiB) differ by 4x and would otherwise
+// split the identical network regime across bucket keys. Block-payload
+// families keep aggregate bucketing.
+func TestAlltoallBucketsPerPair(t *testing.T) {
+	const perPair = 4096
+	want := SizeBucket(perPair)
+	for _, p := range []int{64, 256} {
+		if got := familyBucket(Alltoall, p, p*perPair); got != want {
+			t.Errorf("familyBucket(alltoall, p=%d, %dB) = %d, want per-pair bucket %d",
+				p, p*perPair, got, want)
+		}
+	}
+	if a, b := familyBucket(Allgather, 64, 64*perPair), familyBucket(Allgather, 256, 256*perPair); a == b {
+		t.Errorf("allgather buckets should track aggregate payload, got %d for both p", a)
+	}
+
+	// Lookup agrees with the key BuildTable would store: an entry keyed at the
+	// per-pair bucket is found from the aggregate payload at either rank count.
+	m := fatTree64(t)
+	tab := NewTable(m)
+	tab.Put(Entry{Family: "alltoall", P: 64, SizeBucket: want, Recipe: Recipe{Alg: "pairwise-alltoall"}})
+	if _, ok := tab.Lookup(Alltoall, 64, 64*perPair); !ok {
+		t.Error("alltoall lookup with aggregate payload missed its per-pair bucket")
+	}
+	if _, ok := tab.Lookup(Alltoall, 64, 64*perPair*16); ok {
+		t.Error("alltoall lookup 16x the per-pair size should miss the bucket")
+	}
+}
+
 func TestTablePutLookupMerge(t *testing.T) {
 	m := fatTree64(t)
 	tab := NewTable(m)

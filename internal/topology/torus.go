@@ -125,6 +125,35 @@ func (t *Torus3D) RouteDir(buf []DirLink, src, dst int) []DirLink {
 	return buf
 }
 
+// TorusRankDims derives the mixed-radix dimension vector of a torus
+// cluster's blocked rank numbering: rank r sits on core r, cores fill nodes
+// in order, and nodes are numbered x-fastest, so rank = local +
+// cpn*(x + X*(y + Y*z)). The returned dims — [coresPerNode, X, Y, Z] with
+// size-1 entries dropped — are what the dimension-wise schedule builders in
+// package sched consume: a +1 step in dims[i] there is one intra-node hop
+// (i == 0 with cpn > 1) or one torus ring hop here. The derivation only
+// holds when the job covers the whole machine under the blocked layout, so
+// it reports ok=false for partial jobs and non-torus networks.
+func TorusRankDims(c *Cluster, p int) ([]int, bool) {
+	if c == nil {
+		return nil, false
+	}
+	t, ok := c.Net.(*Torus3D)
+	if !ok || p != c.TotalCores() {
+		return nil, false
+	}
+	dims := make([]int, 0, 4)
+	for _, n := range []int{c.CoresPerNode(), t.X, t.Y, t.Z} {
+		if n > 1 {
+			dims = append(dims, n)
+		}
+	}
+	if len(dims) == 0 {
+		return nil, false // a 1-core machine has no torus structure to exploit
+	}
+	return dims, true
+}
+
 // appendHop emits the directed link between two ring-neighbour nodes.
 // fromCoord/toCoord are positions on the traversed axis ring of size n.
 func (t *Torus3D) appendHop(buf []DirLink, fromNode, toNode, fromCoord, toCoord, n int) []DirLink {

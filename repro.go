@@ -101,12 +101,15 @@ type Mapping = core.Mapping
 // heuristic.
 type Pattern = core.Pattern
 
-// The patterns covered by the paper's heuristics.
+// The patterns covered by the paper's heuristics, plus the complete exchange
+// of MPI_Alltoall (this repository's torus extension: the win there comes
+// from topology-native schedules, not from the mapping side).
 const (
 	RecursiveDoubling = core.RecursiveDoubling
 	Ring              = core.Ring
 	BinomialBroadcast = core.BinomialBroadcast
 	BinomialGather    = core.BinomialGather
+	AlltoallPattern   = core.Alltoall
 )
 
 // The paper's four fine-tuned mapping heuristics (Algorithms 2-5), plus
@@ -297,6 +300,38 @@ func Run(p int, body func(c *Comm) error) error { return mpi.Run(p, body) }
 // Allgather runs a flat allgather on the runtime.
 func Allgather(c *Comm, send, recv []byte, alg Algorithm) error {
 	return collective.Allgather(c, send, recv, alg)
+}
+
+// ReduceOp combines src into dst element-wise; it must be associative and
+// commutative.
+type ReduceOp = collective.ReduceOp
+
+// Alltoall runs the complete exchange: send block d goes to rank d, recv
+// block s arrives from rank s. The schedule comes from the world's
+// synthesized table when one covers the shape, otherwise from the family's
+// per-pair-size baseline rule.
+func Alltoall(c *Comm, send, recv []byte) error {
+	return collective.Alltoall(c, send, recv)
+}
+
+// Allreduce combines buf in place across all ranks.
+func Allreduce(c *Comm, buf []byte, op ReduceOp) error {
+	return collective.Allreduce(c, buf, op)
+}
+
+// Broadcast distributes root's data to every rank.
+func Broadcast(c *Comm, root int, data []byte) error {
+	return collective.Broadcast(c, root, data)
+}
+
+// Gather collects every rank's send block into recv on the root.
+func Gather(c *Comm, root int, send, recv []byte) error {
+	return collective.Gather(c, root, send, recv)
+}
+
+// Scatter distributes the root's data blocks, one per rank, into out.
+func Scatter(c *Comm, root int, data, out []byte) error {
+	return collective.Scatter(c, root, data, out)
 }
 
 // NewReordered collectively builds the reordered communicator for mapping m
